@@ -1,0 +1,30 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one paper artifact (table or figure), checks its
+shape against the published numbers, and records the rendered comparison
+under ``benchmarks/results/`` so the reproduction is inspectable after a
+captured pytest run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a rendered experiment table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,42 @@
+"""E1 — Fig. 1: roofline trajectory of the in-storage design points."""
+
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.analysis.roofline import RooflineModel
+
+
+def test_fig01_roofline(benchmark, record_table):
+    def experiment():
+        # Batch 16 gives operational intensity 8 FLOP/B; the layout can
+        # deliver ~72% of peak bandwidth before learned interleaving and
+        # ~95% after (measured in Fig. 8's reproduction).
+        model = RooflineModel(peak_bandwidth_gbs=8.0, batch=16)
+        return model.paper_points(baseline_utilization=0.72, final_utilization=0.95)
+
+    points = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            p.label,
+            f"{p.compute_ceiling_gflops:.1f}",
+            f"{p.achieved_bandwidth_gbs:.2f}",
+            f"{p.attained_gflops:.1f}",
+            "compute" if p.is_compute_bound else "memory",
+        ]
+        for p in points
+    ]
+    table = render_table(
+        ["point", "compute roof (GFLOPS)", "achieved BW (GB/s)",
+         "attained (GFLOPS)", "bound by"],
+        rows,
+        title="Fig. 1 roofline: A (baseline) -> B (+AF MAC) -> C (+layout)",
+    )
+    record_table("fig01_roofline", table)
+
+    a, b, c = points
+    # The paper's trajectory: A compute-bound, B memory-bound after the MAC
+    # ceiling rises, C recovers bandwidth and attains the most.
+    assert a.is_compute_bound
+    assert not b.is_compute_bound
+    assert c.attained_gflops > b.attained_gflops >= a.attained_gflops

@@ -1,0 +1,41 @@
+"""E5 — Fig. 8: step-wise breakdown of every proposed technique."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig8_breakdown
+from repro.analysis.reporting import render_table
+
+
+def test_fig08_breakdown(benchmark, record_table):
+    steps = run_once(
+        benchmark, lambda: fig8_breakdown(queries=32, sample_tiles=10)
+    )
+
+    rows = [
+        [
+            s.label,
+            f"{s.speedup_vs_baseline:.2f}x",
+            "-" if s.paper_speedup is None else f"{s.paper_speedup:.2f}x",
+            f"{s.fp32_utilization:.1%}",
+            "-" if s.paper_utilization is None else f"{s.paper_utilization:.1%}",
+        ]
+        for s in steps
+    ]
+    table = render_table(
+        ["technique (cumulative)", "speedup (ours)", "speedup (paper)",
+         "fp32 util (ours)", "fp32 util (paper)"],
+        rows,
+        title="Fig. 8: breakdown analysis, averaged over 4 benchmarks",
+    )
+    record_table("fig08_breakdown", table)
+
+    speedups = [s.speedup_vs_baseline for s in steps]
+    utils = [s.fp32_utilization for s in steps]
+    # Paper shape: monotone improvements, <10% baseline utilization,
+    # ~4x after uniform interleaving, ~10.5x and ~95% utilization at the end.
+    assert speedups == sorted(speedups)
+    assert utils == sorted(utils)
+    assert utils[0] < 0.12
+    assert 2.5 <= speedups[1] <= 6.0  # paper: 4.06x
+    assert 7.0 <= speedups[-1] <= 15.0  # paper: 10.5x
+    assert utils[-1] >= 0.85  # paper: 94.7%

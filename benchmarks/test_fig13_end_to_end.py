@@ -1,0 +1,46 @@
+"""E10 — Fig. 13: end-to-end comparison with eight baseline architectures."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import fig13_end_to_end
+from repro.analysis.reporting import format_seconds, render_table
+from repro.workloads.benchmarks import LARGE_SCALE
+
+
+def test_fig13_end_to_end(benchmark, record_table):
+    results = run_once(
+        benchmark, lambda: fig13_end_to_end(queries=8, sample_tiles=10)
+    )
+
+    rows = [
+        [
+            r.architecture,
+            *(format_seconds(r.per_benchmark_time[b]) for b in LARGE_SCALE),
+            f"{r.mean_slowdown_vs_ecssd:.2f}x",
+            "-" if r.paper_slowdown is None else f"{r.paper_slowdown:.2f}x",
+        ]
+        for r in results
+    ]
+    table = render_table(
+        ["architecture", *LARGE_SCALE, "slowdown (ours)", "slowdown (paper)"],
+        rows,
+        title="Fig. 13: end-to-end performance, batch of 8 queries",
+    )
+    record_table("fig13_end_to_end", table)
+
+    ecssd, baselines = results[0], results[1:]
+    assert ecssd.architecture == "ECSSD"
+    # Exact paper ordering: CPU-N slowest down to SmartSSD-H-AP fastest.
+    slowdowns = [r.mean_slowdown_vs_ecssd for r in baselines]
+    assert slowdowns == sorted(slowdowns, reverse=True)
+    assert [r.architecture for r in baselines] == [
+        "CPU-N", "SmartSSD-N", "GenStore-N", "SmartSSD-H-N",
+        "CPU-AP", "SmartSSD-AP", "GenStore-AP", "SmartSSD-H-AP",
+    ]
+    # Every factor within 2x of the published one (paper: 49.87x .. 3.24x).
+    for r in baselines:
+        ratio = r.mean_slowdown_vs_ecssd / r.paper_slowdown
+        assert 0.5 <= ratio <= 2.0, (r.architecture, r.mean_slowdown_vs_ecssd)
+    # Headline range.
+    assert slowdowns[0] > 30
+    assert slowdowns[-1] > 2

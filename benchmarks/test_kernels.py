@@ -1,0 +1,103 @@
+"""Microbenchmarks of the library's hot kernels.
+
+Unlike the per-figure benches (which run once and record reproduction
+tables), these exercise the computational kernels repeatedly so regressions
+in the simulator's own performance show up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cfp32.format import prealign
+from repro.cfp32.mac import AlignmentFreeMac
+from repro.config import FlashConfig
+from repro.core.pipeline import PipelineFeatures, TilePipelineModel, TileWorkload
+from repro.layout.learned import HotnessPredictor, LearnedInterleaving
+from repro.layout.placement import build_placement
+from repro.screening.model import ApproximateScreeningModel
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.workloads.synthetic import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(num_labels=4096, hidden_dim=256, num_queries=64, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(workload):
+    m = ApproximateScreeningModel(workload.weights, seed=1)
+    m.calibrate(workload.features[:32], target_ratio=0.10)
+    return m
+
+
+def test_screening_inference_throughput(benchmark, model, workload):
+    """Full screen+classify of an 8-query batch over 4096 labels."""
+    batch = workload.features[32:40]
+    stats = benchmark(model.infer, batch)
+    assert stats.candidate_ratio < 0.2
+
+
+def test_prealign_throughput(benchmark):
+    """Host-side CFP32 pre-alignment of a 1024-dim vector (§4.2)."""
+    rng = np.random.default_rng(0)
+    vector = rng.normal(size=1024).astype(np.float32)
+    encoded = benchmark(prealign, vector)
+    assert len(encoded) == 1024
+
+
+def test_alignment_free_mac_dot(benchmark):
+    """Bit-accurate 256-element CFP32 dot product."""
+    rng = np.random.default_rng(1)
+    x = prealign(rng.normal(size=256).astype(np.float32))
+    w = prealign(rng.normal(size=256).astype(np.float32))
+    mac = AlignmentFreeMac()
+    trace = benchmark(mac.dot, x, w)
+    assert trace.products == 256
+
+
+def test_ftl_write_throughput(benchmark):
+    """Sustained page-mapping writes with GC churn on a small device."""
+    config = FlashConfig(
+        channels=2, packages_per_channel=1, dies_per_package=1,
+        planes_per_die=1, blocks_per_plane=32, pages_per_block=32,
+    )
+
+    def churn():
+        ftl = FlashTranslationLayer(config, gc_threshold=2)
+        for i in range(4000):
+            ftl.write(i % 97)
+        return ftl
+
+    ftl = benchmark(churn)
+    assert ftl.mapped_pages == 97
+
+
+def test_learned_placement_build(benchmark):
+    """LPT balancing of 32k vectors into 8 channels, 1k-vector tiles."""
+    rng = np.random.default_rng(2)
+    predictor = HotnessPredictor(rng.lognormal(0, 1, size=32768))
+    strategy = LearnedInterleaving(predictor)
+    placement = benchmark(
+        build_placement, strategy, 32768, 8, 4096, 4096, 1024
+    )
+    assert placement.num_vectors == 32768
+
+
+def test_pipeline_tile_timing(benchmark):
+    """Analytic timing of 64 tiles through the full-feature pipeline."""
+    model = TilePipelineModel(features=PipelineFeatures.full())
+    tiles = [
+        TileWorkload(
+            tile_vectors=1024,
+            shrunk_dim=256,
+            hidden_dim=1024,
+            batch=8,
+            candidates=100,
+            fp32_pages_per_channel=np.array([13, 12, 14, 13, 13, 12, 13, 13]),
+            int4_bytes=128 * 1024,
+        )
+        for _ in range(64)
+    ]
+    result = benchmark(model.simulate, tiles)
+    assert result.tiles == 64

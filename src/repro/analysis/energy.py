@@ -1,0 +1,103 @@
+"""Energy and efficiency analysis (extends §7.2/§7.3 to per-query energy).
+
+The paper argues efficiency with peak-rate ratios (GFLOPS/W, GFLOPS/$);
+this module also computes *energy per inference* — power x time for each
+architecture on each benchmark — which is what a deployment actually pays.
+
+Device power figures: ECSSD adds its 52.93 mW accelerator to an SSD-class
+~8 W device; CPU ~85 W (Xeon 4110 TDP); SmartSSD ~25 W (SSD + FPGA);
+GenStore-class ~9 W; RTX 3090 350 W.  These are published TDP-class numbers,
+coarse by nature — conclusions should only be drawn from order-of-magnitude
+gaps, which is how the paper uses them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..baselines.common import ArchitectureModel
+from ..errors import ConfigurationError
+from ..workloads.benchmarks import BenchmarkSpec
+
+# Whole-device operating power, watts.
+DEVICE_POWER_W: Dict[str, float] = {
+    "ECSSD": 8.0 + 0.05293,
+    "CPU-N": 85.0 + 8.0,  # host CPU + the SSD it reads from
+    "CPU-AP": 85.0 + 8.0,
+    "GenStore-N": 9.0,
+    "GenStore-AP": 9.0,
+    "SmartSSD-N": 25.0,
+    "SmartSSD-AP": 25.0,
+    "SmartSSD-H-N": 25.0,
+    "SmartSSD-H-AP": 25.0,
+}
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy of one architecture running one benchmark batch stream."""
+
+    architecture: str
+    benchmark: str
+    time_seconds: float
+    power_watts: float
+
+    @property
+    def energy_joules(self) -> float:
+        return self.time_seconds * self.power_watts
+
+    def energy_ratio_vs(self, other: "EnergyPoint") -> float:
+        if other.energy_joules <= 0:
+            raise ConfigurationError("cannot compare against zero energy")
+        return self.energy_joules / other.energy_joules
+
+
+def baseline_energy(
+    model: ArchitectureModel,
+    spec: BenchmarkSpec,
+    queries: int,
+    batch: Optional[int] = None,
+    power_watts: Optional[float] = None,
+) -> EnergyPoint:
+    """Energy a baseline architecture burns serving ``queries``."""
+    batch = batch or spec.batch_size
+    power = power_watts if power_watts is not None else DEVICE_POWER_W[model.name]
+    time = model.time_for_queries(spec, queries, batch)
+    return EnergyPoint(
+        architecture=model.name,
+        benchmark=spec.name,
+        time_seconds=time,
+        power_watts=power,
+    )
+
+
+def ecssd_energy(
+    spec: BenchmarkSpec, total_time: float, power_watts: Optional[float] = None
+) -> EnergyPoint:
+    """Energy for an ECSSD run whose time came from the pipeline model."""
+    power = power_watts if power_watts is not None else DEVICE_POWER_W["ECSSD"]
+    return EnergyPoint(
+        architecture="ECSSD",
+        benchmark=spec.name,
+        time_seconds=total_time,
+        power_watts=power,
+    )
+
+
+def efficiency_table(points: Sequence[EnergyPoint]) -> list:
+    """Rows of (architecture, time, energy, energy-vs-first) for reporting."""
+    if not points:
+        raise ConfigurationError("efficiency_table needs at least one point")
+    reference = points[0]
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.architecture,
+                point.time_seconds,
+                point.energy_joules,
+                point.energy_ratio_vs(reference),
+            ]
+        )
+    return rows

@@ -1,0 +1,61 @@
+"""Small metric helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def speedup(baseline_time: float, optimized_time: float) -> float:
+    """How many times faster ``optimized_time`` is than ``baseline_time``."""
+    if optimized_time <= 0 or baseline_time <= 0:
+        raise WorkloadError("times must be positive for a speedup")
+    return baseline_time / optimized_time
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    values = list(values)
+    if not values:
+        raise WorkloadError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise WorkloadError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def utilization_timeline(
+    pages_per_channel_series: Sequence[np.ndarray],
+) -> List[float]:
+    """Per-tile mean/max channel balance for a series of fetch patterns."""
+    out: List[float] = []
+    for counts in pages_per_channel_series:
+        counts = np.asarray(counts)
+        peak = counts.max()
+        out.append(1.0 if peak == 0 else float(counts.mean() / peak))
+    return out
+
+
+def weighted_utilization(
+    pages_per_channel_series: Sequence[np.ndarray],
+) -> float:
+    """Time-weighted channel utilization over many tiles.
+
+    Total useful transfer divided by total channel-time, where each tile's
+    wall time is its busiest channel — the aggregate Fig. 8 reports.
+    """
+    total_pages = 0
+    total_max = 0
+    channels = None
+    for counts in pages_per_channel_series:
+        counts = np.asarray(counts)
+        if channels is None:
+            channels = len(counts)
+        total_pages += int(counts.sum())
+        total_max += int(counts.max())
+    if channels is None or total_max == 0:
+        return 1.0
+    return total_pages / (channels * total_max)

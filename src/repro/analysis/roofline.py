@@ -1,0 +1,90 @@
+"""Roofline model for the in-storage accelerator (Fig. 1).
+
+The roofline has a compute ceiling (the FP32 MAC array's peak GFLOPS under
+the area budget) and a memory slope (achieved internal bandwidth times the
+workload's operational intensity).  The paper's three points:
+
+* **A** — naive MAC, uniform interleaving, homogeneous layout: the compute
+  ceiling (29.2 GFLOPS) sits below the bandwidth line → compute-bound;
+* **B** — alignment-free MAC raises the ceiling to 50 GFLOPS → the workload
+  becomes memory-bound at the *achieved* (interference- and imbalance-
+  degraded) bandwidth;
+* **C** — heterogeneous layout + learned interleaving raise achieved
+  bandwidth toward the 8 GB/s peak → performance approaches the roofline
+  corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operating point on the roofline."""
+
+    label: str
+    compute_ceiling_gflops: float
+    achieved_bandwidth_gbs: float
+    operational_intensity: float  # FLOP per byte fetched from flash
+
+    @property
+    def memory_bound_gflops(self) -> float:
+        return self.achieved_bandwidth_gbs * self.operational_intensity
+
+    @property
+    def attained_gflops(self) -> float:
+        return min(self.compute_ceiling_gflops, self.memory_bound_gflops)
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.compute_ceiling_gflops <= self.memory_bound_gflops
+
+
+class RooflineModel:
+    """Builds Fig. 1's A/B/C points for a device + workload."""
+
+    def __init__(
+        self,
+        peak_bandwidth_gbs: float = 8.0,
+        batch: int = 8,
+        bytes_per_element: int = 4,
+    ) -> None:
+        if peak_bandwidth_gbs <= 0 or batch <= 0 or bytes_per_element <= 0:
+            raise ConfigurationError("roofline parameters must be positive")
+        self.peak_bandwidth_gbs = peak_bandwidth_gbs
+        self.batch = batch
+        self.bytes_per_element = bytes_per_element
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOP per fetched byte: each element serves the whole batch."""
+        return 2.0 * self.batch / self.bytes_per_element
+
+    def point(
+        self, label: str, compute_gflops: float, bandwidth_utilization: float
+    ) -> RooflinePoint:
+        if not (0.0 <= bandwidth_utilization <= 1.0):
+            raise ConfigurationError("utilization must be in [0, 1]")
+        return RooflinePoint(
+            label=label,
+            compute_ceiling_gflops=compute_gflops,
+            achieved_bandwidth_gbs=self.peak_bandwidth_gbs * bandwidth_utilization,
+            operational_intensity=self.operational_intensity,
+        )
+
+    def paper_points(
+        self,
+        naive_gflops: float = 29.2,
+        af_gflops: float = 50.0,
+        baseline_utilization: float = 0.44,
+        final_utilization: float = 0.95,
+    ) -> list:
+        """The A/B/C trajectory with configurable utilizations."""
+        return [
+            self.point("A: in-storage baseline", naive_gflops, baseline_utilization),
+            self.point("B: + alignment-free MAC", af_gflops, baseline_utilization),
+            self.point("C: + hetero layout + learned interleaving", af_gflops, final_utilization),
+        ]

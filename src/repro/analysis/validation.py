@@ -1,0 +1,138 @@
+"""Cross-backend validation: analytic pipeline vs event simulator.
+
+DESIGN.md §5 promises the two timing levels are cross-checked; this driver
+makes the check a first-class artifact.  For each interleaving strategy it
+times identical tiles through both backends and reports:
+
+* per-strategy flash-phase times under each backend;
+* the event/analytic ratio (must sit inside the documented envelope:
+  >= 1 because the event model resolves sense serialization and firmware
+  overheads, <= ~2.2 for streaming-regime tiles);
+* whether the strategy *ordering* agrees (the property experiments rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import ECSSDConfig
+from ..core.event_backend import EventBackedTiming
+from ..core.pipeline import PipelineFeatures, TilePipelineModel, TileWorkload
+from ..layout.learned import HotnessPredictor, LearnedInterleaving
+from ..layout.placement import build_placement
+from ..layout.uniform import UniformInterleaving
+from ..workloads.traces import CandidateTraceGenerator, LabelHotnessModel
+from .experiments import TRACE_PARAMS
+
+
+@dataclass
+class ValidationRow:
+    strategy: str
+    analytic_flash: float
+    event_flash: float
+
+    @property
+    def ratio(self) -> float:
+        if self.analytic_flash <= 0:
+            return float("inf")
+        return self.event_flash / self.analytic_flash
+
+
+@dataclass
+class ValidationReport:
+    rows: List[ValidationRow]
+    envelope: tuple = (0.8, 2.2)
+
+    def ordering_agrees(self) -> bool:
+        """Do both backends rank the strategies identically?"""
+        by_analytic = sorted(self.rows, key=lambda r: r.analytic_flash)
+        by_event = sorted(self.rows, key=lambda r: r.event_flash)
+        return [r.strategy for r in by_analytic] == [r.strategy for r in by_event]
+
+    def within_envelope(self) -> bool:
+        lo, hi = self.envelope
+        return all(lo <= row.ratio <= hi for row in self.rows)
+
+
+def cross_validate(
+    tile_vectors: int = 2048,
+    tiles: int = 3,
+    batch: int = 8,
+    hidden_dim: int = 1024,
+    shrunk_dim: int = 256,
+    config: Optional[ECSSDConfig] = None,
+    seed: int = 3,
+) -> ValidationReport:
+    """Run uniform and learned placements through both backends."""
+    config = config or ECSSDConfig()
+    channels = config.flash.channels
+    hotness = LabelHotnessModel(
+        num_labels=tile_vectors * tiles,
+        zipf_exponent=TRACE_PARAMS["zipf_exponent"],
+        run_length=int(TRACE_PARAMS["run_length"]),
+        seed=seed,
+    )
+    generator = CandidateTraceGenerator(
+        hotness, candidate_ratio=0.10, query_noise=TRACE_PARAMS["query_noise"]
+    )
+    analytic = TilePipelineModel(config=config, features=PipelineFeatures.full())
+    tr = config.flash.read_latency
+
+    strategies: Dict[str, object] = {}
+    rows: List[ValidationRow] = []
+    for name in ("uniform", "learned"):
+        analytic_total = 0.0
+        backend = EventBackedTiming(config=config)
+        event_total = 0.0
+        for t in range(tiles):
+            if name == "learned":
+                abs_sums = generator.predictor_abs_sums(
+                    t, tile_vectors, fidelity=TRACE_PARAMS["predictor_fidelity"]
+                )
+                predictor = HotnessPredictor(abs_sums)
+                train = generator.tile_trace(
+                    t, tile_vectors,
+                    num_queries=int(TRACE_PARAMS["train_queries"]), seed=1,
+                )
+                predictor.fine_tune(
+                    train.selection_frequency(),
+                    observations=int(TRACE_PARAMS["train_queries"]),
+                )
+                strategy = LearnedInterleaving(predictor)
+            else:
+                strategy = UniformInterleaving()
+            placement = build_placement(
+                strategy, tile_vectors, channels,
+                4 * hidden_dim, config.flash.page_size, tile_vectors=tile_vectors,
+            )
+            trace = generator.tile_trace(t, tile_vectors, num_queries=batch, seed=7)
+            candidates = np.unique(np.concatenate(trace.candidates))
+            tile = TileWorkload(
+                tile_vectors=tile_vectors,
+                shrunk_dim=shrunk_dim,
+                hidden_dim=hidden_dim,
+                batch=batch,
+                candidates=len(candidates),
+                fp32_pages_per_channel=placement.pages_per_channel(candidates),
+                int4_bytes=tile_vectors * ((shrunk_dim + 1) // 2),
+            )
+            # Event side re-pays the initial sense per tile; add it on the
+            # analytic side so magnitudes are comparable.
+            analytic_total += analytic.tile_timing(tile).fp32_fetch + tr
+            event_total += backend.time_tile(
+                placement, candidates, tile_base_page=t * 8192,
+                batch=batch, shrunk_dim=shrunk_dim, hidden_dim=hidden_dim,
+                int4_bytes=tile.int4_bytes,
+            ).flash_makespan
+        rows.append(
+            ValidationRow(
+                strategy=name,
+                analytic_flash=analytic_total,
+                event_flash=event_total,
+            )
+        )
+        strategies[name] = strategy
+    return ValidationReport(rows=rows)

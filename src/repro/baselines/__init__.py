@@ -1,0 +1,48 @@
+"""Comparison architectures for Fig. 13 (§6.7) and §7 discussions.
+
+Each baseline is a bottleneck model of a published data path:
+
+* :mod:`repro.baselines.cpu` — CPU-N / CPU-AP: conventional host executes
+  the classifier, streaming weights over the SSD's external I/O.
+* :mod:`repro.baselines.genstore` — GenStore-N / GenStore-AP: in-storage
+  per-channel accelerators (GenStore, ASPLOS'22 style) without ECSSD's
+  circuit/layout techniques.
+* :mod:`repro.baselines.smartssd` — SmartSSD-N / SmartSSD-AP and the 6 GB/s
+  "H" variants: near-storage FPGA behind a PCIe switch.
+* :mod:`repro.baselines.gpu_enmc` — the §7.2 GPU and §7.3 ENMC
+  power/cost-efficiency comparisons.
+
+All models consume a :class:`repro.workloads.BenchmarkSpec` and report a
+stage-by-stage time breakdown, so tests can verify *why* a baseline loses,
+not just that it does.
+"""
+
+from .common import BaselineResult, ArchitectureModel
+from .cpu import CpuBaseline, CPU_N, CPU_AP
+from .genstore import GenStoreBaseline, GENSTORE_N, GENSTORE_AP
+from .smartssd import (
+    SmartSSDBaseline,
+    SMARTSSD_N,
+    SMARTSSD_AP,
+    SMARTSSD_H_N,
+    SMARTSSD_H_AP,
+)
+from .gpu_enmc import GpuComparison, EnmcComparison
+
+__all__ = [
+    "BaselineResult",
+    "ArchitectureModel",
+    "CpuBaseline",
+    "CPU_N",
+    "CPU_AP",
+    "GenStoreBaseline",
+    "GENSTORE_N",
+    "GENSTORE_AP",
+    "SmartSSDBaseline",
+    "SMARTSSD_N",
+    "SMARTSSD_AP",
+    "SMARTSSD_H_N",
+    "SMARTSSD_H_AP",
+    "GpuComparison",
+    "EnmcComparison",
+]

@@ -1,0 +1,71 @@
+"""Shared scaffolding for the comparison-architecture models.
+
+Every baseline reduces to a sequence (or overlap) of *stages* — bulk weight
+streaming, screening, candidate fetching, compute — each with a bandwidth or
+throughput bottleneck.  :class:`BaselineResult` keeps the per-stage times so
+experiments can attribute wins/losses the way §6.7's analysis paragraphs do.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..workloads.benchmarks import BenchmarkSpec
+
+
+@dataclass
+class BaselineResult:
+    """Per-batch timing of one architecture on one benchmark."""
+
+    architecture: str
+    benchmark: str
+    batch: int
+    stages: Dict[str, float] = field(default_factory=dict)
+    overlapped: bool = False
+
+    @property
+    def batch_time(self) -> float:
+        """Time for one batch: stage sum, or the max when stages overlap."""
+        if not self.stages:
+            return 0.0
+        if self.overlapped:
+            return max(self.stages.values())
+        return sum(self.stages.values())
+
+    def time_for_queries(self, queries: int) -> float:
+        """Total time to process ``queries`` inputs batch-by-batch."""
+        if queries <= 0:
+            raise ConfigurationError("queries must be positive")
+        batches = -(-queries // self.batch)
+        return batches * self.batch_time
+
+    @property
+    def bottleneck(self) -> str:
+        """The stage that dominates this result."""
+        if not self.stages:
+            return "none"
+        return max(self.stages, key=self.stages.get)
+
+
+class ArchitectureModel(abc.ABC):
+    """A named architecture that can time a benchmark batch."""
+
+    name: str = "abstract"
+    uses_screening: bool = False
+
+    @abc.abstractmethod
+    def estimate(self, spec: BenchmarkSpec, batch: int) -> BaselineResult:
+        """Per-batch time estimate for ``spec``."""
+
+    def time_for_queries(self, spec: BenchmarkSpec, queries: int, batch: int) -> float:
+        return self.estimate(spec, batch).time_for_queries(queries)
+
+
+def gemv_flops(spec: BenchmarkSpec, batch: int, screened: bool) -> float:
+    """FP32 FLOPs of one classification batch (screened or full)."""
+    if screened:
+        return float(spec.fp32_flops_screened(batch))
+    return float(spec.fp32_flops_full(batch))

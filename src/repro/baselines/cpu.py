@@ -1,0 +1,79 @@
+"""CPU baselines (Intel Xeon Silver 4110 class): CPU-N and CPU-AP (§6.7).
+
+CPU-N streams the *entire* FP32 weight matrix from the SSD through the
+external I/O link for every batch (the matrix exceeds host DRAM on the
+large benchmarks), passes it through host memory, and runs the GEMV on the
+cores.  CPU-AP keeps the 4-bit screener matrix resident in host DRAM,
+screens there, then fetches only candidate vectors from the SSD — but those
+fetches are page-granular *random* reads, which NVMe devices serve at a
+fraction of their sequential bandwidth.
+
+Model parameters (documented calibration, DESIGN.md §6):
+
+* external I/O: PCIe 3.0 x4, 3.2 GB/s raw, 0.50 sequential efficiency
+  (filesystem, driver, and host-DRAM staging overheads), 0.30
+  random-read efficiency;
+* host memory: 6-channel DDR4-2400 ≈ 115 GB/s;
+* GEMV throughput: memory-bound at ~57 GFLOPS (2 FLOP per 4 streamed
+  bytes), integer screening ~80 GOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import gbps
+from ..workloads.benchmarks import BenchmarkSpec
+from .common import ArchitectureModel, BaselineResult, gemv_flops
+
+
+@dataclass
+class CpuBaseline(ArchitectureModel):
+    """Conventional-host execution, with or without approximate screening."""
+
+    use_screening: bool = False
+    io_bandwidth: float = gbps(3.2)
+    io_seq_efficiency: float = 0.50
+    io_rand_efficiency: float = 0.30
+    mem_bandwidth: float = gbps(115.0)
+    fp32_gflops: float = 57.0
+    int_gops: float = 80.0
+
+    def __post_init__(self) -> None:
+        self.name = "CPU-AP" if self.use_screening else "CPU-N"
+        self.uses_screening = self.use_screening
+
+    def estimate(self, spec: BenchmarkSpec, batch: int) -> BaselineResult:
+        stages = {}
+        if self.use_screening:
+            # Screen in host DRAM: one pass of the 4-bit matrix plus INT ops.
+            stages["screen_mem"] = spec.int4_matrix_bytes / self.mem_bandwidth
+            stages["screen_compute"] = spec.int4_ops(batch) / (self.int_gops * 1e9)
+            # Candidate fetch: page-granular random reads from the SSD.
+            candidate_bytes = spec.expected_candidates * spec.fp32_vector_bytes
+            stages["candidate_io"] = candidate_bytes / (
+                self.io_bandwidth * self.io_rand_efficiency
+            )
+            stages["classify_mem"] = candidate_bytes / self.mem_bandwidth
+            stages["classify_compute"] = gemv_flops(spec, batch, screened=True) / (
+                self.fp32_gflops * 1e9
+            )
+        else:
+            stages["weight_io"] = spec.fp32_matrix_bytes / (
+                self.io_bandwidth * self.io_seq_efficiency
+            )
+            stages["classify_mem"] = spec.fp32_matrix_bytes / self.mem_bandwidth
+            stages["classify_compute"] = gemv_flops(spec, batch, screened=False) / (
+                self.fp32_gflops * 1e9
+            )
+        return BaselineResult(
+            architecture=self.name,
+            benchmark=spec.name,
+            batch=batch,
+            stages=stages,
+            overlapped=False,
+        )
+
+
+CPU_N = CpuBaseline(use_screening=False)
+CPU_AP = CpuBaseline(use_screening=True)

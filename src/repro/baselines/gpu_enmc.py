@@ -1,0 +1,83 @@
+"""GPU (§7.2) and ENMC near-DRAM (§7.3) comparison models.
+
+These reproduce the paper's power/cost-efficiency discussion rather than a
+latency race:
+
+* A single RTX 3090 (350 W, 24 GB) cannot hold the large classifiers; a
+  model-parallel fleet sized to hold all parameters burns hundreds of times
+  ECSSD's power (the paper quotes >=18 GPUs and >=573x power for 100M
+  categories).
+* ENMC (MICRO'21) is a 64-rank near-DRAM system: higher peak GFLOPS but far
+  worse GFLOPS/dollar and slightly worse GFLOPS/W than ECSSD (the paper
+  quotes 0.018 vs 0.002 GFLOPS/$ and 4.55 vs 3.805 GFLOPS/W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GiB
+from ..workloads.benchmarks import BenchmarkSpec
+
+# ECSSD reference operating point (from the paper's §7.3 efficiency math):
+# 50 GFLOPS peak at ~11 W device power and ~$2750 infrastructure.
+ECSSD_PEAK_GFLOPS = 50.0
+ECSSD_POWER_W = ECSSD_PEAK_GFLOPS / 4.55
+ECSSD_COST_USD = ECSSD_PEAK_GFLOPS / 0.018
+
+
+@dataclass(frozen=True)
+class GpuComparison:
+    """RTX-3090-class GPU fleet sized to hold a benchmark in HBM/GDDR."""
+
+    gpu_memory_bytes: int = 24 * GiB
+    gpu_power_w: float = 350.0
+    # Usable fraction of device memory for weights (activations, runtime,
+    # fragmentation take the rest).
+    usable_memory_fraction: float = 0.9
+
+    def gpus_needed(self, spec: BenchmarkSpec) -> int:
+        """GPUs required to hold the FP32 matrix entirely in device memory."""
+        usable = self.gpu_memory_bytes * self.usable_memory_fraction
+        return max(1, -(-spec.fp32_matrix_bytes // int(usable)))
+
+    def fleet_power_w(self, spec: BenchmarkSpec) -> float:
+        return self.gpus_needed(spec) * self.gpu_power_w
+
+    def power_ratio_vs_ecssd(self, spec: BenchmarkSpec) -> float:
+        """How many times more power the GPU fleet burns than one ECSSD."""
+        return self.fleet_power_w(spec) / ECSSD_POWER_W
+
+    def single_gpu_power_ratio(self) -> float:
+        """One 3090 vs one ECSSD (the paper's 32x)."""
+        return self.gpu_power_w / ECSSD_POWER_W
+
+
+@dataclass(frozen=True)
+class EnmcComparison:
+    """ENMC 512 GB near-DRAM accelerator vs ECSSD (§7.3)."""
+
+    enmc_peak_gflops: float = 800.0
+    enmc_gflops_per_watt: float = 3.805
+    enmc_gflops_per_dollar: float = 0.002
+    enmc_capacity_bytes: int = 512 * GiB
+
+    @property
+    def enmc_power_w(self) -> float:
+        return self.enmc_peak_gflops / self.enmc_gflops_per_watt
+
+    @property
+    def enmc_cost_usd(self) -> float:
+        return self.enmc_peak_gflops / self.enmc_gflops_per_dollar
+
+    def energy_efficiency_ratio(self) -> float:
+        """ECSSD GFLOPS/W over ENMC GFLOPS/W (paper: 1.19x)."""
+        return 4.55 / self.enmc_gflops_per_watt
+
+    def cost_efficiency_ratio(self) -> float:
+        """ECSSD GFLOPS/$ over ENMC GFLOPS/$ (paper: ~8.87x)."""
+        return 0.018 / self.enmc_gflops_per_dollar
+
+    def fits(self, spec: BenchmarkSpec) -> bool:
+        """Whether ENMC's DRAM can hold the benchmark's FP32 matrix at all."""
+        return spec.fp32_matrix_bytes <= self.enmc_capacity_bytes

@@ -1,0 +1,80 @@
+"""SmartSSD baselines: near-storage FPGA behind a PCIe switch (§6.7).
+
+The Samsung/Xilinx SmartSSD couples an FPGA to the SSD over a 3 GB/s PCIe
+switch; the "H" variants model a hypothetical next-generation 6 GB/s switch
+(the paper's bandwidth sensitivity study).  The FPGA's compute is plentiful
+— the switch is the bottleneck:
+
+* sequential streaming (full-matrix reads) achieves ``seq_efficiency`` of
+  the raw switch rate (measured P2P efficiency of the real platform);
+* candidate fetches after screening are page-granular random reads at the
+  lower ``rand_efficiency``, which is §6.7's "random floating-point data
+  access ... slows down the overall performance".
+
+SmartSSD-AP/H-AP run the screening on the FPGA, so the 4-bit matrix also
+crosses the switch every batch (homogeneous storage: it lives in flash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import gbps
+from ..workloads.benchmarks import BenchmarkSpec
+from .common import ArchitectureModel, BaselineResult, gemv_flops
+
+
+@dataclass
+class SmartSSDBaseline(ArchitectureModel):
+    """FPGA-over-PCIe-switch near-storage computing."""
+
+    use_screening: bool = False
+    high_bandwidth: bool = False
+    switch_bandwidth: float = gbps(3.0)
+    seq_efficiency: float = 0.62
+    rand_efficiency: float = 0.43
+    fpga_fp32_gflops: float = 500.0
+    fpga_int4_gops: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.high_bandwidth:
+            self.switch_bandwidth = gbps(6.0)
+            self.name = "SmartSSD-H-AP" if self.use_screening else "SmartSSD-H-N"
+        else:
+            self.name = "SmartSSD-AP" if self.use_screening else "SmartSSD-N"
+        self.uses_screening = self.use_screening
+
+    def estimate(self, spec: BenchmarkSpec, batch: int) -> BaselineResult:
+        seq_bw = self.switch_bandwidth * self.seq_efficiency
+        rand_bw = self.switch_bandwidth * self.rand_efficiency
+        stages = {}
+        if self.use_screening:
+            stages["screen_switch"] = spec.int4_matrix_bytes / seq_bw
+            stages["screen_compute"] = spec.int4_ops(batch) / (
+                self.fpga_int4_gops * 1e9
+            )
+            candidate_bytes = spec.expected_candidates * spec.fp32_vector_bytes
+            stages["candidate_switch"] = candidate_bytes / rand_bw
+            stages["classify_compute"] = gemv_flops(spec, batch, screened=True) / (
+                self.fpga_fp32_gflops * 1e9
+            )
+            overlapped = False
+        else:
+            stages["weight_switch"] = spec.fp32_matrix_bytes / seq_bw
+            stages["classify_compute"] = gemv_flops(spec, batch, screened=False) / (
+                self.fpga_fp32_gflops * 1e9
+            )
+            overlapped = True  # streaming: FPGA compute hides under transfer
+        return BaselineResult(
+            architecture=self.name,
+            benchmark=spec.name,
+            batch=batch,
+            stages=stages,
+            overlapped=overlapped,
+        )
+
+
+SMARTSSD_N = SmartSSDBaseline(use_screening=False)
+SMARTSSD_AP = SmartSSDBaseline(use_screening=True)
+SMARTSSD_H_N = SmartSSDBaseline(use_screening=False, high_bandwidth=True)
+SMARTSSD_H_AP = SmartSSDBaseline(use_screening=True, high_bandwidth=True)

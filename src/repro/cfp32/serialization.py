@@ -1,0 +1,118 @@
+"""On-flash serialization of CFP32 vectors (§4.2's storage story, concretely).
+
+CFP32's selling point is that a pre-aligned vector still costs 4 bytes per
+element: the 8 bits FP32 spent on a per-element exponent become the hidden
+one + 7 compensation bits of a 31-bit mantissa, and one shared exponent byte
+rides along per vector.  This module implements that exact wire format:
+
+* per element, one little-endian ``uint32``: bit 31 = sign, bits 30..0 =
+  magnitude of the shifted mantissa;
+* per vector, a 4-byte header: shared exponent (1 byte) + element count
+  (3 bytes, little-endian) — headers pack page-alignment-friendly.
+
+``serialize_vector``/``deserialize_vector`` round-trip exactly;
+``vectors_to_pages`` packs a weight matrix's rows into 4 KiB flash pages the
+way the placement layer assumes (a D=1023-element vector plus header fills
+one page exactly; D=1024 spills 4 bytes into a second page, which is why
+Table 3's D=1024 benchmarks store one vector per page with the header in
+the page's spare area — modeled here as ``spare_header=True``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import FormatError
+from .format import STORED_MANTISSA_BITS, CFP32Vector
+
+_MAGNITUDE_MASK = (1 << STORED_MANTISSA_BITS) - 1  # 31 bits
+_SIGN_BIT = 1 << 31
+_MAX_ELEMENTS = (1 << 24) - 1
+
+
+def serialize_vector(vector: CFP32Vector) -> bytes:
+    """CFP32 wire format: 4-byte header + 4 bytes per element."""
+    n = len(vector)
+    if n > _MAX_ELEMENTS:
+        raise FormatError(f"vector of {n} elements exceeds 24-bit length field")
+    magnitudes = np.abs(vector.mantissas).astype(np.uint32)
+    if (magnitudes > _MAGNITUDE_MASK).any():
+        raise FormatError("mantissa magnitude exceeds 31 bits")
+    words = magnitudes.copy()
+    words[vector.mantissas < 0] |= _SIGN_BIT
+    header = bytes([vector.shared_exponent]) + int(n).to_bytes(3, "little")
+    return header + words.astype("<u4").tobytes()
+
+
+def deserialize_vector(payload: bytes) -> CFP32Vector:
+    """Inverse of :func:`serialize_vector` (dropped-bit info is not stored)."""
+    if len(payload) < 4:
+        raise FormatError("payload shorter than the CFP32 header")
+    shared_exponent = payload[0]
+    count = int.from_bytes(payload[1:4], "little")
+    expected = 4 + 4 * count
+    if len(payload) < expected:
+        raise FormatError(
+            f"payload holds {len(payload)} bytes, header promises {expected}"
+        )
+    words = np.frombuffer(payload[4:expected], dtype="<u4")
+    magnitudes = (words & _MAGNITUDE_MASK).astype(np.int64)
+    signs = (words & _SIGN_BIT) != 0
+    mantissas = np.where(signs, -magnitudes, magnitudes)
+    return CFP32Vector(
+        shared_exponent=int(shared_exponent),
+        mantissas=mantissas,
+        dropped_bits=np.zeros(count, dtype=np.int64),
+    )
+
+
+def serialized_size(num_elements: int) -> int:
+    """Bytes one serialized vector occupies."""
+    if num_elements < 0:
+        raise FormatError("negative element count")
+    return 4 + 4 * num_elements
+
+
+def vectors_to_pages(
+    vectors: List[CFP32Vector],
+    page_size: int = 4096,
+    spare_header: bool = False,
+) -> Tuple[List[bytes], List[Tuple[int, int]]]:
+    """Pack serialized vectors into flash pages.
+
+    Returns ``(pages, locations)`` where ``locations[i] = (page_index,
+    offset)`` for vector *i*.  Vectors never straddle pages in-body: a
+    vector that doesn't fit the current page's remainder starts a new page
+    (matching :class:`repro.layout.placement.WeightPlacement`'s packing
+    rule).  With ``spare_header=True`` the 4-byte header is accounted to
+    the page's out-of-band spare area (real NAND pages carry 64-224 spare
+    bytes), letting a 4096-byte body hold exactly one 1024-element vector.
+    """
+    if page_size <= 0:
+        raise FormatError("page_size must be positive")
+    pages: List[bytearray] = []
+    locations: List[Tuple[int, int]] = []
+    current = bytearray()
+    for vector in vectors:
+        blob = serialize_vector(vector)
+        body = blob[4:] if spare_header else blob
+        if len(body) > page_size:
+            # Multi-page vector: flush and split across dedicated pages.
+            if current:
+                pages.append(current)
+                current = bytearray()
+            locations.append((len(pages), 0))
+            for start in range(0, len(body), page_size):
+                chunk = bytearray(body[start : start + page_size])
+                pages.append(chunk)
+            continue
+        if len(current) + len(body) > page_size:
+            pages.append(current)
+            current = bytearray()
+        locations.append((len(pages), len(current)))
+        current.extend(body)
+    if current:
+        pages.append(current)
+    return [bytes(p.ljust(page_size, b"\0")) for p in pages], locations

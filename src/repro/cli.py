@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a front door that requires no Python:
+
+* ``python -m repro benchmarks`` — print the Table 3 registry;
+* ``python -m repro quickstart`` — run a small end-to-end inference;
+* ``python -m repro figure <fig8|fig9|fig10|fig11|fig12|fig13>`` — regenerate
+  one paper figure and print the ours-vs-paper table;
+* ``python -m repro validate`` — cross-check the analytic and event timing
+  backends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    from .analysis.reporting import render_table
+    from .units import pretty_bytes
+    from .workloads.benchmarks import list_benchmarks
+
+    rows = [
+        [s.name, s.model, s.dataset, f"{s.num_labels:,}", s.hidden_dim,
+         pretty_bytes(s.int4_matrix_bytes), pretty_bytes(s.fp32_matrix_bytes)]
+        for s in list_benchmarks()
+    ]
+    print(render_table(
+        ["benchmark", "model", "dataset", "categories", "D",
+         "4-bit matrix", "32-bit matrix"],
+        rows, title="Table 3 benchmarks",
+    ))
+    return 0
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_seconds
+    from .core.api import ECSSD
+    from .workloads.synthetic import make_workload
+
+    workload = make_workload(
+        num_labels=args.labels, hidden_dim=256, num_queries=48, seed=args.seed
+    )
+    device = ECSSD()
+    device.ecssd_enable()
+    device.weight_deploy(workload.weights, train_features=workload.features[:32])
+    queries = workload.features[32:40]
+    device.int4_input_send(queries)
+    device.cfp32_input_send(device.pre_align(queries))
+    device.int4_screen()
+    device.cfp32_classify()
+    labels = device.get_results()
+    exact = queries @ workload.weights.T
+    agreement = float((labels[:, 0] == exact.argmax(axis=1)).mean())
+    report = device.last_report
+    print(f"labels (8 queries x top-5):\n{labels}")
+    print(f"top-1 agreement with exact FP32: {agreement:.0%}")
+    print(f"device batch latency: {format_seconds(report.scaled_total_time)}")
+    print(f"fp32 channel utilization: {report.fp32_channel_utilization:.1%}")
+    return 0
+
+
+_FIGURES = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .analysis import experiments as exp
+    from .analysis.reporting import render_table
+
+    name = args.name
+    if name == "fig8":
+        steps = exp.fig8_breakdown(queries=16, sample_tiles=8)
+        rows = [
+            [s.label, f"{s.speedup_vs_baseline:.2f}x",
+             "-" if s.paper_speedup is None else f"{s.paper_speedup:.2f}x",
+             f"{s.fp32_utilization:.1%}"]
+            for s in steps
+        ]
+        print(render_table(
+            ["technique", "speedup", "paper", "fp32 util"], rows, title="Fig. 8"
+        ))
+    elif name == "fig9":
+        rows = [
+            [r.design, f"{r.area_ratio:.2f}x", f"{r.paper_area_ratio:.2f}x",
+             f"{r.power_ratio:.2f}x", f"{r.paper_power_ratio:.2f}x"]
+            for r in exp.fig9_mac_comparison()
+        ]
+        print(render_table(
+            ["design", "area", "paper", "power", "paper"], rows, title="Fig. 9"
+        ))
+    elif name == "fig10":
+        points = exp.fig10_hetero_layout(queries=16, sample_tiles=8)
+        rows = [[f"{p.candidate_ratio:.0%}", f"{p.speedup:.2f}x"] for p in points]
+        print(render_table(
+            ["candidate ratio", "hetero speedup"], rows, title="Fig. 10"
+        ))
+    elif name == "fig11":
+        uniform, learned = exp.fig11_access_pattern()
+        rows = [
+            [f"ch{c}", int(uniform.pages_per_channel[c]),
+             int(learned.pages_per_channel[c])]
+            for c in range(len(uniform.pages_per_channel))
+        ]
+        print(render_table(
+            ["channel", "uniform", "learned"], rows, title="Fig. 11"
+        ))
+    elif name == "fig12":
+        results = exp.fig12_interleaving(queries=16, sample_tiles=8)
+        rows = [
+            [r.benchmark, f"{r.speedup('uniform', 'learned'):.2f}x",
+             f"{r.speedup('sequential', 'learned'):.2f}x"]
+            for r in results
+        ]
+        print(render_table(
+            ["benchmark", "learned/uniform", "learned/sequential"],
+            rows, title="Fig. 12",
+        ))
+    elif name == "fig13":
+        results = exp.fig13_end_to_end(queries=8, sample_tiles=8)
+        rows = [
+            [r.architecture, f"{r.mean_slowdown_vs_ecssd:.2f}x",
+             "-" if r.paper_slowdown is None else f"{r.paper_slowdown:.2f}x"]
+            for r in results
+        ]
+        print(render_table(
+            ["architecture", "slowdown", "paper"], rows, title="Fig. 13"
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown figure {name}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report_builder import build_report
+
+    text = build_report(queries=args.queries, sample_tiles=args.tiles)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_seconds, render_table
+    from .analysis.validation import cross_validate
+
+    report = cross_validate(tiles=2)
+    rows = [
+        [row.strategy, format_seconds(row.analytic_flash),
+         format_seconds(row.event_flash), f"{row.ratio:.2f}x"]
+        for row in report.rows
+    ]
+    print(render_table(
+        ["strategy", "analytic flash time", "event flash time", "event/analytic"],
+        rows, title="Backend cross-validation",
+    ))
+    ok = report.ordering_agrees() and report.within_envelope()
+    print(f"ordering agrees: {report.ordering_agrees()};"
+          f" within envelope {report.envelope}: {report.within_envelope()}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECSSD (ISCA 2023) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("benchmarks", help="print the Table 3 registry")
+
+    quickstart = sub.add_parser("quickstart", help="run a small end-to-end inference")
+    quickstart.add_argument("--labels", type=int, default=4096)
+    quickstart.add_argument("--seed", type=int, default=42)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=_FIGURES)
+
+    report = sub.add_parser("report", help="write a full reproduction report")
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--queries", type=int, default=16)
+    report.add_argument("--tiles", type=int, default=6)
+
+    sub.add_parser("validate", help="cross-check analytic vs event backends")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "benchmarks": _cmd_benchmarks,
+        "quickstart": _cmd_quickstart,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

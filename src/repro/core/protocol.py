@@ -1,0 +1,268 @@
+"""Host-device command protocol: the wire under the Table 1 API (§4.4).
+
+The paper's software library "coordinates the execution between the host and
+the ECSSD"; concretely that means commands crossing the PCIe link as tagged
+payloads the embedded processor's firmware dispatches on.  This module
+implements that wire layer:
+
+* :class:`Command` / :class:`Response` — tagged, byte-serializable messages
+  with a 16-byte header (magic, opcode, tag, payload length) and CRC-32;
+* :class:`DeviceFirmware` — the device-side interpreter: decodes commands,
+  drives an :class:`repro.core.ecssd.ECSSDevice`, encodes responses, and
+  rejects out-of-order or corrupt traffic the way real firmware must;
+* :class:`HostLink` — a host-side convenience that pairs requests with
+  responses by tag.
+
+The high-level :class:`repro.core.api.ECSSD` facade stays the ergonomic
+entry point; this layer exists so integration tests can exercise framing,
+corruption, and protocol-state handling explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .ecssd import ECSSDevice
+
+MAGIC = 0xEC5D
+_HEADER = struct.Struct("<HHIII")  # magic, opcode, tag, length, crc32
+
+
+class Opcode(enum.IntEnum):
+    """Command opcodes, one per Table 1 API entry plus transport basics."""
+
+    ENABLE = 0x01
+    DISABLE = 0x02
+    DEPLOY = 0x10
+    FILTER_THRESHOLD = 0x11
+    INT4_INPUT = 0x20
+    CFP32_INPUT = 0x21
+    SCREEN = 0x30
+    CLASSIFY = 0x31
+    GET_RESULTS = 0x40
+
+
+class Status(enum.IntEnum):
+    """Response status codes the firmware returns."""
+
+    OK = 0
+    BAD_MAGIC = 1
+    BAD_CRC = 2
+    BAD_STATE = 3
+    BAD_PAYLOAD = 4
+
+
+@dataclass(frozen=True)
+class Command:
+    """One host->device message."""
+
+    opcode: Opcode
+    tag: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        if not (0 <= self.tag < 2**32):
+            raise ProtocolError(f"tag {self.tag} outside uint32")
+        crc = zlib.crc32(self.payload) & 0xFFFFFFFF
+        header = _HEADER.pack(MAGIC, int(self.opcode), self.tag, len(self.payload), crc)
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Command":
+        if len(blob) < _HEADER.size:
+            raise ProtocolError("message shorter than header")
+        magic, opcode, tag, length, crc = _HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad magic 0x{magic:04x}")
+        payload = blob[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length:
+            raise ProtocolError("truncated payload")
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ProtocolError("payload CRC mismatch")
+        try:
+            return cls(opcode=Opcode(opcode), tag=tag, payload=payload)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown opcode 0x{opcode:02x}") from exc
+
+
+@dataclass(frozen=True)
+class Response:
+    """One device->host message, paired to a command by tag."""
+
+    tag: int
+    status: Status
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        crc = zlib.crc32(self.payload) & 0xFFFFFFFF
+        header = _HEADER.pack(MAGIC, int(self.status), self.tag, len(self.payload), crc)
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "Response":
+        if len(blob) < _HEADER.size:
+            raise ProtocolError("response shorter than header")
+        magic, status, tag, length, crc = _HEADER.unpack_from(blob)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad magic 0x{magic:04x}")
+        payload = blob[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ProtocolError("corrupt response")
+        return cls(tag=tag, status=Status(status), payload=payload)
+
+
+def _pack_array(array: np.ndarray) -> bytes:
+    array = np.ascontiguousarray(array, dtype=np.float32)
+    if array.ndim != 2:
+        raise ValueError("protocol arrays must be 2-D")
+    shape = struct.pack("<II", *array.shape)
+    return shape + array.tobytes()
+
+
+def _unpack_array(payload: bytes) -> np.ndarray:
+    # Malformed payloads raise ValueError, which the firmware maps to
+    # Status.BAD_PAYLOAD (vs ProtocolError -> BAD_STATE for ordering).
+    if len(payload) < 8:
+        raise ValueError("array payload shorter than its shape header")
+    rows, cols = struct.unpack_from("<II", payload)
+    expected = 8 + rows * cols * 4
+    if len(payload) != expected:
+        raise ValueError("array payload length mismatch")
+    return np.frombuffer(payload, dtype=np.float32, offset=8).reshape(rows, cols).copy()
+
+
+class DeviceFirmware:
+    """Device-side command interpreter over an :class:`ECSSDevice`."""
+
+    def __init__(self, device: Optional[ECSSDevice] = None, top_k: int = 5) -> None:
+        self.device = device or ECSSDevice()
+        self.top_k = top_k
+        self.accelerator_mode = False
+        self._features: Optional[np.ndarray] = None
+        self._cfp32_received = False
+        self._screened = False
+        self._results: Optional[np.ndarray] = None
+
+    def handle(self, blob: bytes) -> bytes:
+        """Decode one command, execute it, return the encoded response."""
+        try:
+            command = Command.decode(blob)
+        except ProtocolError as exc:
+            status = Status.BAD_CRC if "CRC" in str(exc) else Status.BAD_MAGIC
+            return Response(tag=0, status=status).encode()
+        try:
+            payload = self._dispatch(command)
+        except ProtocolError:
+            return Response(tag=command.tag, status=Status.BAD_STATE).encode()
+        except Exception:
+            return Response(tag=command.tag, status=Status.BAD_PAYLOAD).encode()
+        return Response(tag=command.tag, status=Status.OK, payload=payload).encode()
+
+    def _dispatch(self, command: Command) -> bytes:
+        op = command.opcode
+        if op is Opcode.ENABLE:
+            self.accelerator_mode = True
+            return b""
+        if op is Opcode.DISABLE:
+            self.accelerator_mode = False
+            self._features = None
+            self._screened = False
+            self._results = None
+            return b""
+        if not self.accelerator_mode:
+            raise ProtocolError("device is in SSD mode")
+        if op is Opcode.DEPLOY:
+            weights = _unpack_array(command.payload)
+            self.device.deploy_model(weights)
+            self.device.model.set_threshold(float("-inf"))
+            return b""
+        if op is Opcode.FILTER_THRESHOLD:
+            (value,) = struct.unpack("<f", command.payload)
+            if self.device.model is None:
+                raise ProtocolError("deploy before setting a threshold")
+            self.device.model.set_threshold(value)
+            return b""
+        if op is Opcode.INT4_INPUT:
+            self._require_deployed()
+            self._features = _unpack_array(command.payload)
+            self._screened = False
+            return b""
+        if op is Opcode.CFP32_INPUT:
+            self._require_deployed()
+            # CFP32 inputs arrive pre-aligned; functionally identical data.
+            self._cfp32_received = True
+            return b""
+        if op is Opcode.SCREEN:
+            self._require_deployed()
+            if self._features is None:
+                raise ProtocolError("no input batch")
+            stats, _report = self.device.run_inference(
+                self._features, top_k=self.top_k
+            )
+            self._results = stats.result.top_labels
+            self._screened = True
+            ratio = np.float32(stats.candidate_ratio)
+            return struct.pack("<f", float(ratio))
+        if op is Opcode.CLASSIFY:
+            if not self._screened:
+                raise ProtocolError("screen before classify")
+            if not self._cfp32_received:
+                raise ProtocolError("CFP32 inputs not sent")
+            return b""
+        if op is Opcode.GET_RESULTS:
+            if self._results is None:
+                raise ProtocolError("no results available")
+            labels = self._results.astype(np.int64)
+            header = struct.pack("<II", *labels.shape)
+            return header + labels.tobytes()
+        raise ProtocolError(f"unhandled opcode {op}")  # pragma: no cover
+
+    def _require_deployed(self) -> None:
+        if self.device.model is None:
+            raise ProtocolError("weights not deployed")
+
+
+class HostLink:
+    """Host-side request/response pairing over a :class:`DeviceFirmware`."""
+
+    def __init__(self, firmware: Optional[DeviceFirmware] = None) -> None:
+        self.firmware = firmware or DeviceFirmware()
+        self._next_tag = 1
+        self.history: Dict[int, Status] = {}
+
+    def call(self, opcode: Opcode, payload: bytes = b"") -> Response:
+        tag = self._next_tag
+        self._next_tag += 1
+        response = Response.decode(
+            self.firmware.handle(Command(opcode, tag, payload).encode())
+        )
+        if response.tag not in (tag, 0):
+            raise ProtocolError(
+                f"response tag {response.tag} does not match request {tag}"
+            )
+        self.history[tag] = response.status
+        return response
+
+    # --- typed helpers ------------------------------------------------------------
+    def deploy(self, weights: np.ndarray) -> Response:
+        return self.call(Opcode.DEPLOY, _pack_array(weights))
+
+    def send_inputs(self, features: np.ndarray) -> Response:
+        self.call(Opcode.CFP32_INPUT, _pack_array(features))
+        return self.call(Opcode.INT4_INPUT, _pack_array(features))
+
+    def get_results(self) -> np.ndarray:
+        response = self.call(Opcode.GET_RESULTS)
+        if response.status is not Status.OK:
+            raise ProtocolError(f"GET_RESULTS failed: {response.status.name}")
+        rows, cols = struct.unpack_from("<II", response.payload)
+        return np.frombuffer(
+            response.payload, dtype=np.int64, offset=8
+        ).reshape(rows, cols).copy()

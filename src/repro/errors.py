@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ECSSD reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+distinguishing configuration mistakes from runtime device faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class CapacityError(ReproError):
+    """A placement or write would exceed a device's capacity."""
+
+
+class AddressError(ReproError):
+    """A logical or physical address is malformed or unmapped."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """The ECSSD API was used out of order (e.g. inference before deploy)."""
+
+
+class FormatError(ReproError):
+    """CFP32 encoding/decoding received malformed data."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark or synthetic workload request is invalid."""

@@ -1,0 +1,44 @@
+"""Weight data layout: interleaving strategies and the heterogeneous split.
+
+This package answers *where each weight vector lives*:
+
+* :mod:`repro.layout.placement` — the placement framework: packing weight
+  vectors into flash pages per channel and computing the per-channel page
+  counts a candidate fetch touches.
+* :mod:`repro.layout.sequential` / :mod:`repro.layout.uniform` /
+  :mod:`repro.layout.learned` — the three §5 channel-assignment strategies.
+* :mod:`repro.layout.heterogeneous` — §4.3's 4-bit-in-DRAM / 32-bit-in-flash
+  split versus the homogeneous everything-in-flash baseline.
+"""
+
+from .placement import (
+    InterleavingStrategy,
+    WeightPlacement,
+    build_placement,
+)
+from .sequential import SequentialStoring
+from .uniform import UniformInterleaving
+from .learned import HotnessPredictor, LearnedInterleaving, HotGrade
+from .graded import GradedInterleaving
+from .remapper import RemapPlan, VectorMove, diff_placements, remap_time
+from .heterogeneous import DataLocation, WeightLayout, heterogeneous_layout, homogeneous_layout
+
+__all__ = [
+    "InterleavingStrategy",
+    "WeightPlacement",
+    "build_placement",
+    "SequentialStoring",
+    "UniformInterleaving",
+    "HotnessPredictor",
+    "LearnedInterleaving",
+    "GradedInterleaving",
+    "RemapPlan",
+    "VectorMove",
+    "diff_placements",
+    "remap_time",
+    "HotGrade",
+    "DataLocation",
+    "WeightLayout",
+    "heterogeneous_layout",
+    "homogeneous_layout",
+]

@@ -1,0 +1,73 @@
+"""Approximate projection: shrink the hidden dimension D to K (§2.1).
+
+The screener operates on projected features/weights so the approximate
+vector-matrix multiply costs K instead of D multiplies per label.  We use a
+seeded sparse sign (Achlioptas-style) random projection: entries are
+±1/sqrt(K) with probability 1/2 each, which preserves inner products in
+expectation (Johnson–Lindenstrauss) and is cheap to generate at any scale.
+The paper's projection scale is 0.25 (K = D/4, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+DEFAULT_PROJECTION_SCALE = 0.25
+
+
+@dataclass(frozen=True)
+class ProjectionMatrix:
+    """A D -> K projection: ``projected = x @ matrix`` for row vectors."""
+
+    matrix: np.ndarray  # (D, K) float32
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise WorkloadError("projection matrix must be 2-D (D, K)")
+        if self.matrix.shape[1] > self.matrix.shape[0]:
+            raise WorkloadError(
+                f"projection must shrink: K={self.matrix.shape[1]} >"
+                f" D={self.matrix.shape[0]}"
+            )
+
+    @property
+    def input_dim(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def output_dim(self) -> int:
+        return self.matrix.shape[1]
+
+    @classmethod
+    def create(
+        cls,
+        input_dim: int,
+        scale: float = DEFAULT_PROJECTION_SCALE,
+        seed: int = 0,
+    ) -> "ProjectionMatrix":
+        """Random sign projection with ``K = round(input_dim * scale)``."""
+        if input_dim <= 0:
+            raise WorkloadError(f"input_dim must be positive, got {input_dim}")
+        if not (0.0 < scale <= 1.0):
+            raise WorkloadError(f"projection scale must be in (0, 1], got {scale}")
+        output_dim = max(1, round(input_dim * scale))
+        rng = np.random.default_rng(seed)
+        signs = rng.integers(0, 2, size=(input_dim, output_dim), dtype=np.int8)
+        matrix = (signs.astype(np.float32) * 2.0 - 1.0) / np.float32(
+            np.sqrt(output_dim)
+        )
+        return cls(matrix=matrix)
+
+
+def project(data: np.ndarray, projection: ProjectionMatrix) -> np.ndarray:
+    """Project rows of ``data`` (…, D) down to (…, K)."""
+    if data.shape[-1] != projection.input_dim:
+        raise WorkloadError(
+            f"data dim {data.shape[-1]} != projection input dim"
+            f" {projection.input_dim}"
+        )
+    return np.asarray(data, dtype=np.float32) @ projection.matrix

@@ -1,0 +1,118 @@
+"""Symmetric 4-bit integer quantization for the screener (§2.1, §6.1).
+
+Values quantize to the signed range [-7, 7] (code -8 is unused so the range
+is symmetric) with a per-row scale.  Per-row scaling matters for the
+interleaving framework: the paper's "hot degree" predictor is the sum of the
+absolute 4-bit weight values of a row, so each row's codes must span the full
+INT4 range for that sum to be informative.
+
+``pack_int4``/``unpack_int4`` give the 2-codes-per-byte storage layout used
+when sizing DRAM footprints (12.8 GB for S100M's 4-bit matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+INT4_MAX = 7
+INT4_MIN = -7
+
+
+@dataclass(frozen=True)
+class QuantizedMatrix:
+    """INT4 codes plus per-row dequantization scales."""
+
+    codes: np.ndarray  # (L, K) int8, values in [-7, 7]
+    scales: np.ndarray  # (L,) float32, dequant = codes * scales[:, None]
+
+    def __post_init__(self) -> None:
+        if self.codes.ndim != 2:
+            raise WorkloadError("quantized codes must be 2-D")
+        if self.scales.shape != (self.codes.shape[0],):
+            raise WorkloadError(
+                f"scales shape {self.scales.shape} != rows {self.codes.shape[0]}"
+            )
+        if self.codes.dtype != np.int8:
+            raise WorkloadError(f"codes must be int8, got {self.codes.dtype}")
+
+    @property
+    def shape(self) -> tuple:
+        return self.codes.shape
+
+    def dequantize(self) -> np.ndarray:
+        return self.codes.astype(np.float32) * self.scales[:, None]
+
+    @property
+    def nbytes_packed(self) -> int:
+        """Bytes when stored 2 codes/byte plus one FP32 scale per row."""
+        rows, cols = self.codes.shape
+        return rows * ((cols + 1) // 2) + 4 * rows
+
+    def abs_sum_per_row(self) -> np.ndarray:
+        """Sum of |code| per row — the hot-degree signal of §5.3."""
+        return np.abs(self.codes.astype(np.int32)).sum(axis=1)
+
+
+class Int4Quantizer:
+    """Symmetric per-row INT4 quantizer."""
+
+    def quantize(self, data: np.ndarray) -> QuantizedMatrix:
+        """Quantize rows of a 2-D float array to INT4 codes + scales.
+
+        All-zero rows get scale 1.0 (codes are all zero anyway), keeping
+        dequantization well-defined.
+        """
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2:
+            raise WorkloadError("quantizer expects a 2-D array")
+        max_abs = np.abs(data).max(axis=1)
+        scales = np.where(max_abs > 0, max_abs / INT4_MAX, 1.0).astype(np.float32)
+        codes = np.clip(
+            np.rint(data / scales[:, None]), INT4_MIN, INT4_MAX
+        ).astype(np.int8)
+        return QuantizedMatrix(codes=codes, scales=scales)
+
+    def quantize_vector(self, vector: np.ndarray) -> QuantizedMatrix:
+        """Quantize a single vector as a 1-row matrix."""
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.ndim != 1:
+            raise WorkloadError("quantize_vector expects a 1-D array")
+        return self.quantize(vector[None, :])
+
+
+def pack_int4(codes: np.ndarray) -> np.ndarray:
+    """Pack int8 codes in [-8, 7] to 2 codes/byte (low nibble first)."""
+    codes = np.asarray(codes, dtype=np.int8)
+    if codes.ndim != 2:
+        raise WorkloadError("pack_int4 expects a 2-D array")
+    if codes.min(initial=0) < -8 or codes.max(initial=0) > 7:
+        raise WorkloadError("codes outside INT4 range [-8, 7]")
+    rows, cols = codes.shape
+    if cols % 2:
+        codes = np.concatenate([codes, np.zeros((rows, 1), dtype=np.int8)], axis=1)
+    unsigned = (codes.astype(np.int16) & 0xF).astype(np.uint8)
+    low = unsigned[:, 0::2]
+    high = unsigned[:, 1::2]
+    return (low | (high << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_int4`; ``cols`` recovers an odd width."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise WorkloadError("unpack_int4 expects a 2-D array")
+    if cols <= 0 or cols > packed.shape[1] * 2:
+        raise WorkloadError(f"cols={cols} incompatible with packed width")
+    low = (packed & 0xF).astype(np.int8)
+    high = ((packed >> 4) & 0xF).astype(np.int8)
+    # Sign-extend 4-bit two's complement.
+    low = np.where(low > 7, low - 16, low).astype(np.int8)
+    high = np.where(high > 7, high - 16, high).astype(np.int8)
+    out = np.empty((packed.shape[0], packed.shape[1] * 2), dtype=np.int8)
+    out[:, 0::2] = low
+    out[:, 1::2] = high
+    return out[:, :cols]

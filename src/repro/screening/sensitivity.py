@@ -1,0 +1,146 @@
+"""Sensitivity study: projection scale and screener precision (§6.1).
+
+The paper sets projection scale 0.25 and 4-bit screener precision "according
+to the sensitivity study in [22]" (ENMC).  This module reproduces that
+study: sweep both knobs on a synthetic workload and measure screening
+quality (top-1 agreement with exact classification and top-k recall of the
+candidate sets), so the chosen operating point is justified by measurement
+rather than citation.
+
+A generalized :class:`IntQuantizer` (2..8 bits) supports the precision axis;
+the 4-bit case matches :class:`repro.screening.quantization.Int4Quantizer`
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .classifier import CandidateClassifier
+from .projection import ProjectionMatrix, project
+from .quantization import QuantizedMatrix
+from .screener import Int4Screener
+
+
+class IntQuantizer:
+    """Symmetric per-row integer quantizer with configurable bit width."""
+
+    def __init__(self, bits: int = 4) -> None:
+        if not (2 <= bits <= 8):
+            raise WorkloadError(f"bits must be in [2, 8], got {bits}")
+        self.bits = bits
+        self.max_code = 2 ** (bits - 1) - 1
+
+    def quantize(self, data: np.ndarray) -> QuantizedMatrix:
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2:
+            raise WorkloadError("quantizer expects a 2-D array")
+        max_abs = np.abs(data).max(axis=1)
+        scales = np.where(max_abs > 0, max_abs / self.max_code, 1.0).astype(
+            np.float32
+        )
+        codes = np.clip(
+            np.rint(data / scales[:, None]), -self.max_code, self.max_code
+        ).astype(np.int8)
+        return QuantizedMatrix(codes=codes, scales=scales)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Screening quality at one (projection scale, precision) setting."""
+
+    projection_scale: float
+    bits: int
+    candidate_ratio: float
+    top1_agreement: float
+    topk_recall: float
+    int4_footprint_ratio: float  # screener bytes / FP32 matrix bytes
+
+
+def _topk_recall(candidates, exact_scores: np.ndarray, k: int) -> float:
+    hits = 0
+    for selected, row in zip(candidates, exact_scores):
+        true_top = np.argpartition(row, -k)[-k:]
+        hits += int(np.isin(true_top, selected).sum())
+    return hits / (len(candidates) * k)
+
+
+def evaluate_point(
+    weights: np.ndarray,
+    features: np.ndarray,
+    projection_scale: float,
+    bits: int,
+    candidate_ratio: float = 0.10,
+    top_k: int = 5,
+    seed: int = 0,
+) -> SensitivityPoint:
+    """Measure screening quality for one configuration."""
+    weights = np.asarray(weights, dtype=np.float32)
+    features = np.atleast_2d(np.asarray(features, dtype=np.float32))
+    projection = ProjectionMatrix.create(
+        weights.shape[1], scale=projection_scale, seed=seed
+    )
+    quantizer = IntQuantizer(bits)
+    quantized = quantizer.quantize(project(weights, projection))
+    screener = Int4Screener(quantized)  # arithmetic is width-agnostic int8
+    classifier = CandidateClassifier(weights)
+
+    projected = project(features, projection)
+    screen = screener.screen_top_ratio(projected, candidate_ratio)
+    exact = classifier.exact_scores(features)
+    result = classifier.classify(features, screen.candidates, top_k=1)
+    exact_top1 = exact.argmax(axis=1)
+    agreement = float((result.top_labels[:, 0] == exact_top1).mean())
+    recall = _topk_recall(screen.candidates, exact, min(top_k, weights.shape[0]))
+    footprint = (
+        weights.shape[0] * projection.output_dim * bits / 8
+    ) / (weights.shape[0] * weights.shape[1] * 4)
+    return SensitivityPoint(
+        projection_scale=projection_scale,
+        bits=bits,
+        candidate_ratio=screen.candidate_ratio(),
+        top1_agreement=agreement,
+        topk_recall=recall,
+        int4_footprint_ratio=footprint,
+    )
+
+
+def sensitivity_sweep(
+    weights: np.ndarray,
+    features: np.ndarray,
+    projection_scales: Sequence[float] = (0.0625, 0.125, 0.25, 0.5),
+    bit_widths: Sequence[int] = (2, 4, 8),
+    candidate_ratio: float = 0.10,
+    seed: int = 0,
+) -> List[SensitivityPoint]:
+    """The §6.1 sensitivity grid: scale x precision."""
+    points: List[SensitivityPoint] = []
+    for scale in projection_scales:
+        for bits in bit_widths:
+            points.append(
+                evaluate_point(
+                    weights,
+                    features,
+                    projection_scale=scale,
+                    bits=bits,
+                    candidate_ratio=candidate_ratio,
+                    seed=seed,
+                )
+            )
+    return points
+
+
+def knee_point(points: Sequence[SensitivityPoint], threshold: float = 0.98):
+    """Cheapest configuration whose top-1 agreement clears ``threshold``.
+
+    "Cheapest" by screener footprint — the quantity the DRAM budget pays.
+    Returns None when nothing clears the bar.
+    """
+    qualifying = [p for p in points if p.top1_agreement >= threshold]
+    if not qualifying:
+        return None
+    return min(qualifying, key=lambda p: p.int4_footprint_ratio)

@@ -1,0 +1,94 @@
+"""Threshold pre-training for the screener (§2.1, Filter_threshold API).
+
+The paper filters candidates by comparing approximate scores against a
+*pre-trained threshold* chosen so that roughly a target fraction of labels
+(10% in the paper's headline numbers) survives screening while the true top-k
+labels are retained.  :class:`ThresholdCalibrator` reproduces that procedure
+on a calibration feature set: it picks the per-query score quantile matching
+the target ratio, then averages into a single deployable threshold, and
+reports the achieved ratio and top-k recall so callers can verify quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .screener import Int4Screener
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of threshold calibration on a held-out feature set."""
+
+    threshold: float
+    target_ratio: float
+    achieved_ratio: float
+    topk_recall: float
+    queries: int
+
+
+def calibrate_threshold(
+    screener: Int4Screener,
+    projected_features: np.ndarray,
+    target_ratio: float = 0.10,
+) -> float:
+    """Single global threshold achieving ``target_ratio`` candidates on average.
+
+    The threshold is the mean over queries of each query's (1 - ratio)
+    quantile of approximate scores — the same statistic a per-query quantile
+    filter would use, collapsed to one deployable constant.
+    """
+    if not (0.0 < target_ratio <= 1.0):
+        raise WorkloadError(f"target ratio must be in (0, 1], got {target_ratio}")
+    scores = screener.scores(projected_features)
+    quantile = 1.0 - target_ratio
+    per_query = np.quantile(scores, quantile, axis=1)
+    return float(per_query.mean())
+
+
+class ThresholdCalibrator:
+    """Calibrates and evaluates a screener threshold against exact top-k."""
+
+    def __init__(self, screener: Int4Screener, top_k: int = 5) -> None:
+        if top_k < 1:
+            raise WorkloadError(f"top_k must be >= 1, got {top_k}")
+        self.screener = screener
+        self.top_k = top_k
+
+    def calibrate(
+        self,
+        projected_features: np.ndarray,
+        exact_scores: np.ndarray,
+        target_ratio: float = 0.10,
+    ) -> CalibrationReport:
+        """Pick a threshold and measure achieved ratio + top-k recall.
+
+        ``exact_scores`` are the full-precision (B, L) scores the screening
+        is approximating; recall counts how many of each query's exact top-k
+        labels survive the screen.
+        """
+        features = np.atleast_2d(projected_features)
+        exact_scores = np.atleast_2d(exact_scores)
+        if exact_scores.shape[0] != features.shape[0]:
+            raise WorkloadError("feature/exact-score batch sizes differ")
+        threshold = calibrate_threshold(self.screener, features, target_ratio)
+        result = self.screener.screen(features, threshold=threshold)
+        recall = self._topk_recall(result.candidates, exact_scores)
+        return CalibrationReport(
+            threshold=threshold,
+            target_ratio=target_ratio,
+            achieved_ratio=result.candidate_ratio(),
+            topk_recall=recall,
+            queries=features.shape[0],
+        )
+
+    def _topk_recall(self, candidates, exact_scores: np.ndarray) -> float:
+        k = min(self.top_k, exact_scores.shape[1])
+        hits = 0
+        for selected, row in zip(candidates, exact_scores):
+            true_top = np.argpartition(row, -k)[-k:]
+            hits += np.isin(true_top, selected).sum()
+        return hits / (len(candidates) * k)

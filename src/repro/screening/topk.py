@@ -1,0 +1,117 @@
+"""Streaming top-k: the on-device result merger for tile-by-tile inference.
+
+Classification proceeds tile by tile (§4.5), so the accelerator never sees
+all scores at once — it must maintain a running top-k per query in its tiny
+output buffer (Table 2: 1 KB FP32 output buffer) as tiles complete.
+:class:`StreamingTopK` implements that merger with per-query min-heaps and
+exposes the buffer-occupancy accounting that shows k=5..64 easily fits.
+
+Invariant (property-tested): after consuming any sequence of tiles, the
+merger's state equals the offline top-k over everything it has seen.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class StreamingTopK:
+    """Running top-k (label, score) per query across tile updates."""
+
+    def __init__(self, batch: int, k: int) -> None:
+        if batch <= 0:
+            raise WorkloadError("batch must be positive")
+        if k <= 0:
+            raise WorkloadError("k must be positive")
+        self.batch = batch
+        self.k = k
+        # Per query: a min-heap of (score, -label); the root is the weakest
+        # current member (lowest score; largest label among score ties), so
+        # tie-breaking matches the offline reference's smallest-label rule.
+        self._heaps: List[List[Tuple[float, int]]] = [[] for _ in range(batch)]
+        self.updates = 0
+
+    def update(
+        self, query: int, labels: np.ndarray, scores: np.ndarray
+    ) -> None:
+        """Offer one query's scores for one tile's candidates."""
+        if not (0 <= query < self.batch):
+            raise WorkloadError(f"query {query} outside batch {self.batch}")
+        labels = np.asarray(labels, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if labels.shape != scores.shape or labels.ndim != 1:
+            raise WorkloadError("labels/scores must be matching 1-D arrays")
+        heap = self._heaps[query]
+        for label, score in zip(labels.tolist(), scores.tolist()):
+            entry = (score, -label)
+            if len(heap) < self.k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+        self.updates += 1
+
+    def update_tile(
+        self,
+        candidates: Sequence[np.ndarray],
+        scores: Sequence[np.ndarray],
+    ) -> None:
+        """Offer one tile's per-query candidate scores (batch-wide)."""
+        if len(candidates) != self.batch or len(scores) != self.batch:
+            raise WorkloadError("one candidate/score array per query required")
+        for query in range(self.batch):
+            self.update(query, candidates[query], scores[query])
+
+    def results(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(labels, scores), best-first, padded with (-1, -inf)."""
+        labels = np.full((self.batch, self.k), -1, dtype=np.int64)
+        scores = np.full((self.batch, self.k), -np.inf, dtype=np.float64)
+        for query, heap in enumerate(self._heaps):
+            ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
+            for rank, (score, neg_label) in enumerate(ordered):
+                labels[query, rank] = -neg_label
+                scores[query, rank] = score
+        return labels, scores
+
+    def threshold(self, query: int) -> float:
+        """The score a new candidate must beat for ``query`` (-inf if open).
+
+        This is also what makes threshold filtering *tighten* over tiles:
+        the device can raise its screening bar as strong candidates appear.
+        """
+        heap = self._heaps[query]
+        if len(heap) < self.k:
+            return float("-inf")
+        return heap[0][0]
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Output-buffer footprint: (score fp32 + label int32) per slot."""
+        return self.batch * self.k * 8
+
+    def fits_output_buffer(self, buffer_bytes: int = 1024) -> bool:
+        """Does the running state fit Table 2's 1 KB FP32 output buffer?"""
+        return self.buffer_bytes <= buffer_bytes
+
+
+def offline_topk(
+    all_labels: np.ndarray, all_scores: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference: exact top-k over fully materialized (B, N) scores."""
+    all_labels = np.asarray(all_labels, dtype=np.int64)
+    all_scores = np.asarray(all_scores, dtype=np.float64)
+    if all_labels.shape != all_scores.shape:
+        raise WorkloadError("labels/scores shape mismatch")
+    batch, n = all_scores.shape
+    kk = min(k, n)
+    out_labels = np.full((batch, k), -1, dtype=np.int64)
+    out_scores = np.full((batch, k), -np.inf, dtype=np.float64)
+    for q in range(batch):
+        order = np.lexsort((all_labels[q], -all_scores[q]))[:kk]
+        out_labels[q, :kk] = all_labels[q][order]
+        out_scores[q, :kk] = all_scores[q][order]
+    return out_labels, out_scores

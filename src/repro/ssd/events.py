@@ -1,0 +1,137 @@
+"""A small discrete-event simulation (DES) engine.
+
+The flash subsystem is modeled as resources (channel buses, dies) that are
+busy for known durations.  The engine is deliberately minimal: a time-ordered
+event queue, a simulator that drains it, and a :class:`Resource` that
+serializes work.  Events are plain callbacks; there is no coroutine magic so
+the control flow stays debuggable.
+
+Determinism: events scheduled for the same timestamp fire in insertion order
+(the queue breaks ties with a monotonically increasing sequence number), so a
+simulation is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class EventQueue:
+    """Time-ordered queue of ``(time, seq, callback)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: EventCallback) -> None:
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def pop(self) -> Tuple[float, EventCallback]:
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` and owns the simulation clock."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: EventCallback) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> None:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self.queue.push(time, callback)
+
+    def run(self, until: Optional[float] = None, max_events: int = 100_000_000) -> float:
+        """Drain the queue; returns the final simulation time.
+
+        ``until`` stops the clock at a given time even if events remain;
+        ``max_events`` guards against runaway event loops.
+        """
+        while self.queue:
+            next_time = self.queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            time, callback = self.queue.pop()
+            if time < self.now:
+                raise SimulationError(f"time went backwards: {time} < {self.now}")
+            self.now = time
+            callback()
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely a loop")
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+class Resource:
+    """A serially-reusable resource (a bus, a die) with FIFO acquisition.
+
+    ``acquire(duration)`` reserves the resource for ``duration`` seconds
+    starting at the earliest time it is free, and returns the ``(start, end)``
+    interval.  This reservation style (rather than callback-based handoff)
+    keeps flash-command scheduling simple: callers compute their own timeline
+    from the returned interval.
+    """
+
+    def __init__(self, name: str = "resource") -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.acquisitions = 0
+
+    def acquire(self, now: float, duration: float) -> Tuple[float, float]:
+        """Reserve the resource for ``duration`` seconds at or after ``now``."""
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration} on {self.name}")
+        start = max(now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.acquisitions += 1
+        return start, end
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this resource spent busy (0 when idle)."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.acquisitions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, free_at={self.free_at:.6g})"

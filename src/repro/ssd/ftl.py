@@ -1,0 +1,334 @@
+"""Flash Translation Layer: L2P mapping, allocation, GC, wear leveling.
+
+The FTL is the firmware function the paper's interleaving framework relies on
+(§5.3): each flash channel owns a contiguous logical address range, so a host
+that assigns a logical address from channel *c*'s range is guaranteed its data
+lands on channel *c*.  :meth:`FlashTranslationLayer.channel_logical_range`
+exposes exactly that contract.
+
+Internals:
+
+* **L2P map** — a dict from logical page to flat physical page, with the
+  reverse map for invalidation.  (The real device keeps this table in DRAM;
+  :class:`repro.ssd.device.SSDDevice` charges DRAM accesses for lookups.)
+* **Allocation** — per-channel append points: each (channel, die, plane) has
+  an active block written page-by-page, spreading programs across dies.
+* **Garbage collection** — greedy cost-benefit: when a plane's free-block
+  reserve drops below ``gc_threshold``, the full block with the fewest valid
+  pages is the victim; its valid pages are relocated and the block erased.
+* **Wear leveling** — free blocks are taken from a min-heap keyed by erase
+  count, so erases spread across blocks.
+
+State is created lazily per plane/block: a Table 2 device has half a million
+blocks, and experiments only ever touch a sliver of them, so memory tracks
+the written footprint rather than the raw geometry.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import FlashConfig
+from ..errors import AddressError, CapacityError, SimulationError
+from .geometry import FlashGeometry, PhysicalAddress
+
+# A plane is identified by (channel, package, die, plane).
+PlaneKey = Tuple[int, int, int, int]
+
+
+class BlockState:
+    """Bookkeeping for one physical block (valid bitmap + wear)."""
+
+    __slots__ = ("block", "pages_per_block", "write_pointer", "valid", "erase_count")
+
+    def __init__(self, block: int, pages_per_block: int) -> None:
+        self.block = block
+        self.pages_per_block = pages_per_block
+        self.write_pointer = 0
+        self.valid = bytearray(pages_per_block)
+        self.erase_count = 0
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_pointer >= self.pages_per_block
+
+    @property
+    def valid_pages(self) -> int:
+        return sum(self.valid)
+
+    def erase(self) -> None:
+        self.write_pointer = 0
+        self.valid = bytearray(self.pages_per_block)
+        self.erase_count += 1
+
+
+@dataclass
+class GcEvent:
+    """Record of one garbage-collection invocation (for tests/telemetry)."""
+
+    plane: PlaneKey
+    victim_block: int
+    relocated_pages: int
+
+
+class _PlaneState:
+    """Lazily-created allocation state for one plane."""
+
+    __slots__ = ("blocks", "free_heap", "active", "in_gc")
+
+    def __init__(self, blocks_per_plane: int) -> None:
+        self.blocks: Dict[int, BlockState] = {}
+        self.free_heap: List[Tuple[int, int]] = [(0, b) for b in range(blocks_per_plane)]
+        # Heap starts sorted (all-zero wear), no heapify needed.
+        self.active: Optional[BlockState] = None
+        # Re-entrancy guard: GC's own relocation writes must not trigger a
+        # nested collection of the same plane (the over-provisioned reserve
+        # exists precisely so relocations always find a destination).
+        self.in_gc = False
+
+
+class FlashTranslationLayer:
+    """Page-mapping FTL over a :class:`FlashGeometry`.
+
+    ``gc_threshold`` is the minimum number of free blocks a plane keeps in
+    reserve; dropping to it triggers GC on that plane.  ``op_ratio`` reserves
+    over-provisioned blocks per plane that the host-visible capacity never
+    touches, which guarantees GC can always find a destination.
+    """
+
+    def __init__(
+        self,
+        config: FlashConfig,
+        gc_threshold: int = 2,
+        op_ratio: float = 0.07,
+    ) -> None:
+        if gc_threshold < 1:
+            raise SimulationError("gc_threshold must be >= 1")
+        if not (0.0 <= op_ratio < 0.5):
+            raise SimulationError("op_ratio must be in [0, 0.5)")
+        self.config = config
+        self.geometry = FlashGeometry(config)
+        self.gc_threshold = gc_threshold
+        self.op_ratio = op_ratio
+
+        self._l2p: Dict[int, int] = {}
+        self._p2l: Dict[int, int] = {}
+        self._planes: Dict[PlaneKey, _PlaneState] = {}
+        self.gc_events: List[GcEvent] = []
+        self.pages_written = 0
+        self.pages_relocated = 0
+
+    # --- logical address ranges (§5.3 contract) -------------------------------
+    def channel_logical_range(self, channel: int) -> range:
+        """The logical page range whose writes land on ``channel``.
+
+        The firmware statically partitions the logical space channel-by-
+        channel; user capacity excludes the over-provisioned share.
+        """
+        if not (0 <= channel < self.config.channels):
+            raise AddressError(f"channel {channel} outside device")
+        per_channel = self.user_pages_per_channel
+        start = channel * per_channel
+        return range(start, start + per_channel)
+
+    @property
+    def user_pages_per_channel(self) -> int:
+        return int(self.config.pages_per_channel * (1.0 - self.op_ratio))
+
+    @property
+    def user_pages(self) -> int:
+        return self.user_pages_per_channel * self.config.channels
+
+    def channel_of_logical(self, logical_page: int) -> int:
+        """Which channel a logical page is statically routed to."""
+        if not (0 <= logical_page < self.user_pages):
+            raise AddressError(
+                f"logical page {logical_page} outside user space"
+                f" [0, {self.user_pages})"
+            )
+        return logical_page // self.user_pages_per_channel
+
+    # --- mapping ---------------------------------------------------------------
+    def write(self, logical_page: int) -> PhysicalAddress:
+        """Map ``logical_page`` to a fresh physical page; returns its PPA.
+
+        Overwrites invalidate the previous physical page.  The channel is
+        determined by the static logical range; within the channel the
+        allocator round-robins dies/planes for program parallelism.
+        """
+        channel = self.channel_of_logical(logical_page)
+        old = self._l2p.pop(logical_page, None)
+        if old is not None:
+            self._invalidate(old)
+        address = self._allocate(channel, logical_page)
+        flat = self.geometry.to_flat(address)
+        self._l2p[logical_page] = flat
+        self._p2l[flat] = logical_page
+        self.pages_written += 1
+        return address
+
+    def lookup(self, logical_page: int) -> PhysicalAddress:
+        """Translate a logical page to its current physical address."""
+        flat = self._l2p.get(logical_page)
+        if flat is None:
+            raise AddressError(f"logical page {logical_page} is unmapped")
+        return self.geometry.to_physical(flat)
+
+    def is_mapped(self, logical_page: int) -> bool:
+        return logical_page in self._l2p
+
+    def trim(self, logical_page: int) -> None:
+        """Discard a mapping (host TRIM); the physical page becomes invalid."""
+        flat = self._l2p.pop(logical_page, None)
+        if flat is not None:
+            self._invalidate(flat)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._l2p)
+
+    # --- allocation --------------------------------------------------------------
+    def _allocate(self, channel: int, logical_page: int) -> PhysicalAddress:
+        plane_key = self._pick_plane(channel, logical_page)
+        block = self._active_block(plane_key)
+        page = block.write_pointer
+        block.write_pointer += 1
+        block.valid[page] = 1
+        if block.is_full:
+            self._plane(plane_key).active = None
+        return PhysicalAddress(
+            channel=plane_key[0],
+            package=plane_key[1],
+            die=plane_key[2],
+            plane=plane_key[3],
+            block=block.block,
+            page=page,
+        )
+
+    def _pick_plane(self, channel: int, logical_page: int) -> PlaneKey:
+        """Round-robin planes within the channel by logical page number."""
+        cfg = self.config
+        planes_per_channel = (
+            cfg.packages_per_channel * cfg.dies_per_package * cfg.planes_per_die
+        )
+        idx = logical_page % planes_per_channel
+        package, rest = divmod(idx, cfg.dies_per_package * cfg.planes_per_die)
+        die, plane = divmod(rest, cfg.planes_per_die)
+        return (channel, package, die, plane)
+
+    def _plane(self, plane_key: PlaneKey) -> _PlaneState:
+        state = self._planes.get(plane_key)
+        if state is None:
+            state = _PlaneState(self.config.blocks_per_plane)
+            self._planes[plane_key] = state
+        return state
+
+    def _active_block(self, plane_key: PlaneKey) -> BlockState:
+        state = self._plane(plane_key)
+        if state.active is not None and not state.active.is_full:
+            return state.active
+        if len(state.free_heap) <= self.gc_threshold and not state.in_gc:
+            self._garbage_collect(plane_key)
+            # GC's relocations may have opened an active block with room
+            # left; reuse it rather than stranding its free pages.
+            if state.active is not None and not state.active.is_full:
+                return state.active
+        state.active = self._pop_free_block(plane_key)
+        return state.active
+
+    def _pop_free_block(self, plane_key: PlaneKey) -> BlockState:
+        state = self._plane(plane_key)
+        if not state.free_heap:
+            raise CapacityError(f"plane {plane_key} has no free blocks (GC failed)")
+        _wear, block_index = heapq.heappop(state.free_heap)
+        block = state.blocks.get(block_index)
+        if block is None:
+            block = BlockState(block_index, self.config.pages_per_block)
+            state.blocks[block_index] = block
+        return block
+
+    # --- garbage collection ---------------------------------------------------------
+    def _garbage_collect(self, plane_key: PlaneKey) -> None:
+        """Reclaim blocks until the plane's free reserve is replenished.
+
+        One pass may reclaim a block whose pages the next allocation
+        immediately consumes, so collection loops while reclaimable victims
+        exist and the reserve is still at or below the threshold.
+        """
+        state = self._plane(plane_key)
+        state.in_gc = True
+        try:
+            while len(state.free_heap) <= self.gc_threshold:
+                victim = self._pick_victim(plane_key)
+                if victim is None:
+                    return  # nothing reclaimable; allocation may still succeed
+                self._collect_victim(plane_key, state, victim)
+        finally:
+            state.in_gc = False
+
+    def _collect_victim(
+        self, plane_key: PlaneKey, state: _PlaneState, victim: BlockState
+    ) -> None:
+        relocated = 0
+        for page_index in range(victim.pages_per_block):
+            if not victim.valid[page_index]:
+                continue
+            flat = self.geometry.to_flat(
+                PhysicalAddress(
+                    plane_key[0],
+                    plane_key[1],
+                    plane_key[2],
+                    plane_key[3],
+                    victim.block,
+                    page_index,
+                )
+            )
+            logical_page = self._p2l.pop(flat)
+            victim.valid[page_index] = 0
+            new_address = self._allocate(plane_key[0], logical_page)
+            new_flat = self.geometry.to_flat(new_address)
+            self._l2p[logical_page] = new_flat
+            self._p2l[new_flat] = logical_page
+            relocated += 1
+        victim.erase()
+        heapq.heappush(state.free_heap, (victim.erase_count, victim.block))
+        self.pages_relocated += relocated
+        self.gc_events.append(
+            GcEvent(plane=plane_key, victim_block=victim.block, relocated_pages=relocated)
+        )
+
+    def _pick_victim(self, plane_key: PlaneKey) -> Optional[BlockState]:
+        state = self._plane(plane_key)
+        candidates = [
+            block
+            for block in state.blocks.values()
+            if block.is_full and block is not state.active
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda block: (block.valid_pages, block.erase_count))
+
+    # --- wear statistics --------------------------------------------------------------
+    def wear_stats(self) -> Tuple[int, int, float]:
+        """(min, max, mean) erase counts across *touched* blocks.
+
+        Untouched planes have uniformly zero wear and are excluded from the
+        mean so the statistic reflects the written footprint.
+        """
+        counts = [
+            block.erase_count
+            for state in self._planes.values()
+            for block in state.blocks.values()
+        ]
+        if not counts:
+            return 0, 0, 0.0
+        return min(counts), max(counts), sum(counts) / len(counts)
+
+    def _invalidate(self, flat: int) -> None:
+        address = self.geometry.to_physical(flat)
+        plane_key = (address.channel, address.package, address.die, address.plane)
+        block = self._plane(plane_key).blocks[address.block]
+        block.valid[address.page] = 0
+        self._p2l.pop(flat, None)

@@ -1,0 +1,141 @@
+"""Flash geometry: the channel/package/die/plane/block/page hierarchy.
+
+Physical page addresses (PPA) identify a page by its position in the
+hierarchy; logical page addresses (LPA) are flat integers the FTL maps onto
+PPAs.  :class:`FlashGeometry` converts between flat page indices and
+structured addresses and knows the fan-out at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..config import FlashConfig
+from ..errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class LogicalAddress:
+    """A logical page address: a flat page number in the device's LPA space."""
+
+    page: int
+
+    def __post_init__(self) -> None:
+        if self.page < 0:
+            raise AddressError(f"negative logical page {self.page}")
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalAddress:
+    """A physical page address within the flash hierarchy."""
+
+    channel: int
+    package: int
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def __post_init__(self) -> None:
+        for name in ("channel", "package", "die", "plane", "block", "page"):
+            if getattr(self, name) < 0:
+                raise AddressError(f"negative {name} in {self!r}")
+
+
+class FlashGeometry:
+    """Address arithmetic over a :class:`FlashConfig` hierarchy.
+
+    Flat physical indices are channel-major: channel, then package, die,
+    plane, block, page.  This means that ``flat // pages_per_channel`` is the
+    channel index, the property the FTL exploits to give each channel a
+    contiguous physical index range.
+    """
+
+    def __init__(self, config: FlashConfig) -> None:
+        self.config = config
+
+    # --- fan-out shortcuts ---------------------------------------------------
+    @property
+    def channels(self) -> int:
+        return self.config.channels
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.config.pages_per_channel
+
+    @property
+    def total_pages(self) -> int:
+        return self.config.total_pages
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    # --- flat <-> structured -------------------------------------------------
+    def to_physical(self, flat: int) -> PhysicalAddress:
+        """Convert a flat physical page index to a structured address."""
+        if not (0 <= flat < self.total_pages):
+            raise AddressError(f"flat page {flat} outside [0, {self.total_pages})")
+        cfg = self.config
+        channel, rest = divmod(flat, cfg.pages_per_channel)
+        package, rest = divmod(rest, cfg.dies_per_package * cfg.pages_per_die)
+        die, rest = divmod(rest, cfg.pages_per_die)
+        plane, rest = divmod(rest, cfg.pages_per_plane)
+        block, page = divmod(rest, cfg.pages_per_block)
+        return PhysicalAddress(channel, package, die, plane, block, page)
+
+    def to_flat(self, addr: PhysicalAddress) -> int:
+        """Convert a structured physical address to a flat page index."""
+        cfg = self.config
+        self._check(addr)
+        flat = addr.channel
+        flat = flat * cfg.packages_per_channel + addr.package
+        flat = flat * cfg.dies_per_package + addr.die
+        flat = flat * cfg.planes_per_die + addr.plane
+        flat = flat * cfg.blocks_per_plane + addr.block
+        flat = flat * cfg.pages_per_block + addr.page
+        return flat
+
+    def _check(self, addr: PhysicalAddress) -> None:
+        cfg = self.config
+        limits = (
+            ("channel", addr.channel, cfg.channels),
+            ("package", addr.package, cfg.packages_per_channel),
+            ("die", addr.die, cfg.dies_per_package),
+            ("plane", addr.plane, cfg.planes_per_die),
+            ("block", addr.block, cfg.blocks_per_plane),
+            ("page", addr.page, cfg.pages_per_block),
+        )
+        for name, value, limit in limits:
+            if value >= limit:
+                raise AddressError(f"{name}={value} exceeds fan-out {limit} in {addr!r}")
+
+    # --- derived views --------------------------------------------------------
+    def channel_of(self, flat: int) -> int:
+        """Channel index of a flat physical page (cheap, no full decode)."""
+        if not (0 <= flat < self.total_pages):
+            raise AddressError(f"flat page {flat} outside [0, {self.total_pages})")
+        return flat // self.config.pages_per_channel
+
+    def die_index_of(self, flat: int) -> int:
+        """Global die index (channel-major) of a flat physical page."""
+        if not (0 <= flat < self.total_pages):
+            raise AddressError(f"flat page {flat} outside [0, {self.total_pages})")
+        return flat // self.config.pages_per_die
+
+    def channel_page_range(self, channel: int) -> range:
+        """The flat physical page index range owned by ``channel``."""
+        if not (0 <= channel < self.channels):
+            raise AddressError(f"channel {channel} outside [0, {self.channels})")
+        start = channel * self.pages_per_channel
+        return range(start, start + self.pages_per_channel)
+
+    def iter_channels(self) -> Iterator[int]:
+        return iter(range(self.channels))
+
+    def pages_for_bytes(self, num_bytes: int) -> int:
+        """Number of whole pages needed to hold ``num_bytes``."""
+        if num_bytes < 0:
+            raise AddressError(f"negative byte count {num_bytes}")
+        return -(-num_bytes // self.page_size)

@@ -1,0 +1,197 @@
+"""NVMe-style multi-queue host interface (the "MQ" in MQSim).
+
+Modern SSDs expose multiple submission/completion queue pairs so host cores
+issue I/O without locking; the controller arbitrates across them
+(round-robin in the base NVMe spec, weighted round-robin with urgent class
+as an option).  This module models that front end for SSD-mode traffic:
+
+* :class:`QueuePair` — one SQ/CQ pair with bounded depth;
+* :class:`NvmeFrontEnd` — arbitration + dispatch into the device's FTL and
+  channel controllers, completion timestamps back into the CQs;
+* fairness/latency statistics per queue, so tests can check that
+  arbitration neither starves a queue nor reorders one queue's commands.
+
+ECSSD's accelerator mode bypasses this path (the scheduler talks to the
+FTL directly); it matters for the SSD-mode half of the device and for
+host-I/O-vs-accelerator interference studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..errors import ProtocolError, SimulationError
+from .device import SSDDevice
+
+
+class IoKind(enum.Enum):
+    """Host I/O command types."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class Arbitration(enum.Enum):
+    """NVMe queue arbitration policies."""
+
+    ROUND_ROBIN = "round_robin"
+    WEIGHTED = "weighted"
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One NVMe command: an LPA-addressed page read or write."""
+
+    kind: IoKind
+    logical_page: int
+    queue_id: int
+    command_id: int
+
+
+@dataclass
+class Completion:
+    """CQ entry: when a command finished and how long it queued."""
+
+    request: IoRequest
+    submit_time: float
+    complete_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+
+@dataclass
+class QueuePair:
+    """One submission/completion queue pair with bounded depth."""
+
+    queue_id: int
+    depth: int = 64
+    weight: int = 1
+    submissions: Deque = field(default_factory=deque)
+    completions: List[Completion] = field(default_factory=list)
+    _next_command_id: int = 0
+
+    def submit(self, kind: IoKind, logical_page: int) -> IoRequest:
+        if len(self.submissions) >= self.depth:
+            raise ProtocolError(
+                f"queue {self.queue_id} full (depth {self.depth})"
+            )
+        request = IoRequest(
+            kind=kind,
+            logical_page=logical_page,
+            queue_id=self.queue_id,
+            command_id=self._next_command_id,
+        )
+        self._next_command_id += 1
+        self.submissions.append(request)
+        return request
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.submissions)
+
+    def mean_latency(self) -> float:
+        if not self.completions:
+            raise SimulationError(f"queue {self.queue_id} has no completions")
+        return sum(c.latency for c in self.completions) / len(self.completions)
+
+
+class NvmeFrontEnd:
+    """Multi-queue front end over an :class:`SSDDevice`.
+
+    ``process()`` drains the submission queues under the configured
+    arbitration, dispatching each command through the device's SSD-mode
+    path and posting a completion.  Commands from one queue execute in
+    submission order (NVMe guarantees per-queue ordering only).
+    """
+
+    def __init__(
+        self,
+        device: Optional[SSDDevice] = None,
+        num_queues: int = 4,
+        queue_depth: int = 64,
+        arbitration: Arbitration = Arbitration.ROUND_ROBIN,
+        weights: Optional[Sequence[int]] = None,
+        burst: int = 1,
+    ) -> None:
+        if num_queues <= 0:
+            raise SimulationError("need at least one queue pair")
+        if queue_depth <= 0:
+            raise SimulationError("queue depth must be positive")
+        if burst <= 0:
+            raise SimulationError("arbitration burst must be positive")
+        self.device = device or SSDDevice()
+        self.arbitration = arbitration
+        self.burst = burst
+        if weights is None:
+            weights = [1] * num_queues
+        if len(weights) != num_queues or any(w <= 0 for w in weights):
+            raise SimulationError("one positive weight per queue required")
+        self.queues: Dict[int, QueuePair] = {
+            qid: QueuePair(queue_id=qid, depth=queue_depth, weight=w)
+            for qid, w in enumerate(weights)
+        }
+        self.dispatched = 0
+
+    def queue(self, queue_id: int) -> QueuePair:
+        try:
+            return self.queues[queue_id]
+        except KeyError:
+            raise ProtocolError(f"no queue {queue_id}") from None
+
+    def submit(self, queue_id: int, kind: IoKind, logical_page: int) -> IoRequest:
+        return self.queue(queue_id).submit(kind, logical_page)
+
+    # --- arbitration ---------------------------------------------------------------
+    def _arbitration_order(self) -> List[int]:
+        """Queue visit order for one full arbitration round."""
+        order: List[int] = []
+        for qid, queue in self.queues.items():
+            slots = queue.weight if self.arbitration is Arbitration.WEIGHTED else 1
+            order.extend([qid] * slots * self.burst)
+        return order
+
+    def process(self, max_commands: Optional[int] = None) -> List[Completion]:
+        """Drain the SQs; returns completions in dispatch order."""
+        completed: List[Completion] = []
+        budget = max_commands if max_commands is not None else float("inf")
+        progress = True
+        while progress and len(completed) < budget:
+            progress = False
+            for qid in self._arbitration_order():
+                if len(completed) >= budget:
+                    break
+                queue = self.queues[qid]
+                if not queue.submissions:
+                    continue
+                request = queue.submissions.popleft()
+                completed.append(self._dispatch(request))
+                progress = True
+        return completed
+
+    def _dispatch(self, request: IoRequest) -> Completion:
+        submit_time = self.device.clock
+        if request.kind is IoKind.WRITE:
+            finish = self.device.host_write([request.logical_page])
+        else:
+            finish = self.device.host_read([request.logical_page])
+        self.dispatched += 1
+        completion = Completion(
+            request=request, submit_time=submit_time, complete_time=finish
+        )
+        self.queues[request.queue_id].completions.append(completion)
+        return completion
+
+    # --- statistics -----------------------------------------------------------------
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-queue completed command counts."""
+        counts = [len(q.completions) for q in self.queues.values()]
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        square_sum = sum(c * c for c in counts)
+        return total * total / (len(counts) * square_sum)

@@ -1,0 +1,119 @@
+"""Table 3 benchmark registry: models, datasets, and matrix geometry.
+
+Sizes follow §6.1: the projection scale is 0.25 (shrunk dimension K = D/4),
+the screener weights are 4-bit, and the classifier weights are FP32.  For
+XMLCNN-S100M that yields the paper's quoted 12.8 GB / 400 GB matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import WorkloadError
+
+PROJECTION_SCALE = 0.25
+DEFAULT_CANDIDATE_RATIO = 0.10
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 3 row plus derived storage geometry."""
+
+    name: str
+    model: str
+    dataset: str
+    num_labels: int
+    hidden_dim: int
+    candidate_ratio: float = DEFAULT_CANDIDATE_RATIO
+    batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_labels <= 0 or self.hidden_dim <= 0:
+            raise WorkloadError(f"{self.name}: dimensions must be positive")
+        if not (0 < self.candidate_ratio <= 1):
+            raise WorkloadError(f"{self.name}: candidate ratio out of range")
+
+    @property
+    def shrunk_dim(self) -> int:
+        """Projected hidden dimension K = D * 0.25 (§6.1)."""
+        return max(1, round(self.hidden_dim * PROJECTION_SCALE))
+
+    @property
+    def fp32_vector_bytes(self) -> int:
+        """One FP32 (or CFP32 — same footprint) weight vector."""
+        return 4 * self.hidden_dim
+
+    @property
+    def int4_vector_bytes(self) -> int:
+        """One packed INT4 screener vector (2 codes per byte)."""
+        return (self.shrunk_dim + 1) // 2
+
+    @property
+    def fp32_matrix_bytes(self) -> int:
+        return self.num_labels * self.fp32_vector_bytes
+
+    @property
+    def int4_matrix_bytes(self) -> int:
+        return self.num_labels * self.int4_vector_bytes
+
+    @property
+    def expected_candidates(self) -> int:
+        """Average candidate count per query at this spec's ratio."""
+        return max(1, round(self.num_labels * self.candidate_ratio))
+
+    def fp32_flops_full(self, batch: int = 1) -> int:
+        """FLOPs of full (un-screened) classification per batch."""
+        return 2 * batch * self.num_labels * self.hidden_dim
+
+    def fp32_flops_screened(self, batch: int = 1) -> int:
+        """FLOPs of candidate-only classification per batch."""
+        return 2 * batch * self.expected_candidates * self.hidden_dim
+
+    def int4_ops(self, batch: int = 1) -> int:
+        """INT4 MAC operations of the screening stage per batch."""
+        return 2 * batch * self.num_labels * self.shrunk_dim
+
+    def scaled(self, num_labels: int, suffix: str) -> "BenchmarkSpec":
+        """A copy with a different label count (scalability sweeps)."""
+        return BenchmarkSpec(
+            name=f"{self.name}-{suffix}",
+            model=self.model,
+            dataset=self.dataset,
+            num_labels=num_labels,
+            hidden_dim=self.hidden_dim,
+            candidate_ratio=self.candidate_ratio,
+            batch_size=self.batch_size,
+        )
+
+
+_SPECS: List[BenchmarkSpec] = [
+    BenchmarkSpec("GNMT-E32K", "GNMT", "WMT16", 32_317, 1024),
+    BenchmarkSpec("LSTM-W33K", "LSTM", "Wikitext-2", 33_278, 1500),
+    BenchmarkSpec("Transformer-W268K", "Transformer", "Wikitext-103", 267_744, 512),
+    BenchmarkSpec("XMLCNN-A670K", "XMLCNN", "Amazon-670k", 670_091, 512),
+    BenchmarkSpec("XMLCNN-S10M", "XMLCNN", "S10M", 10_000_000, 1024),
+    BenchmarkSpec("XMLCNN-S50M", "XMLCNN", "S50M", 50_000_000, 1024),
+    BenchmarkSpec("XMLCNN-S100M", "XMLCNN", "S100M", 100_000_000, 1024),
+]
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {spec.name: spec for spec in _SPECS}
+
+# The three large-scale benchmarks Fig. 13 compares architectures on.
+LARGE_SCALE = ("XMLCNN-S10M", "XMLCNN-S50M", "XMLCNN-S100M")
+# The four benchmarks Fig. 12 compares interleaving strategies on.
+INTERLEAVING_SET = ("GNMT-E32K", "LSTM-W33K", "Transformer-W268K", "XMLCNN-A670K")
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table 3 benchmark by its abbreviation."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def list_benchmarks() -> List[BenchmarkSpec]:
+    """All Table 3 benchmarks in publication order."""
+    return list(_SPECS)

@@ -1,0 +1,166 @@
+"""Tests for the comparison-architecture models (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (
+    CPU_AP,
+    CPU_N,
+    GENSTORE_AP,
+    GENSTORE_N,
+    SMARTSSD_AP,
+    SMARTSSD_H_AP,
+    SMARTSSD_H_N,
+    SMARTSSD_N,
+)
+from repro.baselines.common import BaselineResult
+from repro.baselines.gpu_enmc import ECSSD_POWER_W, EnmcComparison, GpuComparison
+from repro.errors import ConfigurationError
+from repro.workloads.benchmarks import get_benchmark
+
+SPEC = get_benchmark("XMLCNN-S100M")
+SMALL = get_benchmark("GNMT-E32K")
+
+
+class TestBaselineResult:
+    def test_serial_sums(self):
+        r = BaselineResult("x", "b", 8, stages={"a": 1.0, "b": 2.0}, overlapped=False)
+        assert r.batch_time == 3.0
+
+    def test_overlapped_takes_max(self):
+        r = BaselineResult("x", "b", 8, stages={"a": 1.0, "b": 2.0}, overlapped=True)
+        assert r.batch_time == 2.0
+
+    def test_time_for_queries_rounds_up_batches(self):
+        r = BaselineResult("x", "b", 8, stages={"a": 1.0})
+        assert r.time_for_queries(8) == 1.0
+        assert r.time_for_queries(9) == 2.0
+        with pytest.raises(ConfigurationError):
+            r.time_for_queries(0)
+
+    def test_bottleneck(self):
+        r = BaselineResult("x", "b", 8, stages={"io": 5.0, "compute": 1.0})
+        assert r.bottleneck == "io"
+        assert BaselineResult("x", "b", 8).bottleneck == "none"
+
+
+class TestCpuBaselines:
+    def test_cpu_n_is_io_bound(self):
+        result = CPU_N.estimate(SPEC, batch=8)
+        assert result.bottleneck == "weight_io"
+
+    def test_cpu_ap_beats_cpu_n(self):
+        t_n = CPU_N.time_for_queries(SPEC, 8, 8)
+        t_ap = CPU_AP.time_for_queries(SPEC, 8, 8)
+        assert t_n / t_ap > 3
+
+    def test_cpu_ap_bound_by_random_reads(self):
+        result = CPU_AP.estimate(SPEC, batch=8)
+        assert result.bottleneck == "candidate_io"
+
+    def test_names(self):
+        assert CPU_N.name == "CPU-N"
+        assert CPU_AP.name == "CPU-AP"
+        assert CPU_AP.uses_screening and not CPU_N.uses_screening
+
+
+class TestGenStoreBaselines:
+    def test_genstore_n_is_compute_bound(self):
+        """Fig. 1 point A: the naive in-storage design is compute-bound."""
+        result = GENSTORE_N.estimate(SPEC, batch=8)
+        assert result.bottleneck == "classify_compute"
+
+    def test_genstore_beats_cpu(self):
+        t_cpu = CPU_N.time_for_queries(SPEC, 8, 8)
+        t_gen = GENSTORE_N.time_for_queries(SPEC, 8, 8)
+        assert t_cpu > t_gen
+
+    def test_screening_helps_genstore(self):
+        t_n = GENSTORE_N.time_for_queries(SPEC, 8, 8)
+        t_ap = GENSTORE_AP.time_for_queries(SPEC, 8, 8)
+        assert t_n / t_ap > 3
+
+    def test_effective_gflops_fragmented(self):
+        assert GENSTORE_N.effective_gflops < GENSTORE_N.naive_total_gflops
+
+
+class TestSmartSSDBaselines:
+    def test_switch_is_the_bottleneck(self):
+        result = SMARTSSD_N.estimate(SPEC, batch=8)
+        assert result.bottleneck == "weight_switch"
+
+    def test_h_variant_doubles_switch(self):
+        assert SMARTSSD_H_N.switch_bandwidth == pytest.approx(6e9)
+        t = SMARTSSD_N.time_for_queries(SPEC, 8, 8)
+        t_h = SMARTSSD_H_N.time_for_queries(SPEC, 8, 8)
+        assert t / t_h == pytest.approx(2.0, rel=0.05)
+
+    def test_ap_faster_than_n(self):
+        assert SMARTSSD_N.time_for_queries(SPEC, 8, 8) > SMARTSSD_AP.time_for_queries(
+            SPEC, 8, 8
+        )
+
+    def test_names(self):
+        assert SMARTSSD_AP.name == "SmartSSD-AP"
+        assert SMARTSSD_H_AP.name == "SmartSSD-H-AP"
+
+
+class TestFig13Ordering:
+    def test_paper_ordering_holds(self):
+        """§6.7: CPU-N slowest ... SmartSSD-H-AP fastest baseline."""
+        times = [
+            model.time_for_queries(SPEC, 8, 8)
+            for model in (
+                CPU_N,
+                SMARTSSD_N,
+                GENSTORE_N,
+                SMARTSSD_H_N,
+                CPU_AP,
+                SMARTSSD_AP,
+                GENSTORE_AP,
+                SMARTSSD_H_AP,
+            )
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_ordering_holds_on_small_benchmark_too(self):
+        times = [
+            model.time_for_queries(SMALL, 8, 8)
+            for model in (CPU_N, SMARTSSD_N, GENSTORE_N, SMARTSSD_H_N)
+        ]
+        assert times == sorted(times, reverse=True)
+
+
+class TestGpuComparison:
+    def test_single_3090_cannot_hold_s100m(self):
+        gpu = GpuComparison()
+        assert SPEC.fp32_matrix_bytes > gpu.gpu_memory_bytes
+
+    def test_fleet_size_matches_paper(self):
+        """§7.2: >= 18 RTX 3090s for the 100M-category problem."""
+        assert GpuComparison().gpus_needed(SPEC) >= 18
+
+    def test_power_ratios(self):
+        gpu = GpuComparison()
+        assert gpu.single_gpu_power_ratio() == pytest.approx(32, rel=0.05)
+        assert gpu.power_ratio_vs_ecssd(SPEC) >= 573
+
+    def test_small_model_needs_one_gpu(self):
+        assert GpuComparison().gpus_needed(SMALL) == 1
+
+
+class TestEnmcComparison:
+    def test_efficiency_ratios_match_paper(self):
+        enmc = EnmcComparison()
+        assert enmc.energy_efficiency_ratio() == pytest.approx(1.19, rel=0.02)
+        assert enmc.cost_efficiency_ratio() == pytest.approx(8.87, rel=0.05)
+
+    def test_enmc_cannot_hold_s100m_fp32(self):
+        """§7.3: the 400 GB matrix does not fit ENMC's 512 GB... it does,
+        barely — but S50M x 4 or larger scale-ups do not."""
+        enmc = EnmcComparison()
+        assert enmc.fits(SPEC)  # 400 GB < 512 GiB
+        bigger = SPEC.scaled(200_000_000, "S200M")
+        assert not enmc.fits(bigger)
+
+    def test_ecssd_reference_power(self):
+        assert ECSSD_POWER_W == pytest.approx(50 / 4.55)

@@ -1,0 +1,56 @@
+"""E14: end-to-end check that CFP32 arithmetic changes no predictions.
+
+§4.2 claims that running the candidate-only classification through the
+pre-aligned CFP32 datapath (instead of IEEE FP32) causes no classification
+accuracy drop.  Here the full screening pipeline runs twice — once ranking
+candidates with IEEE float32 GEMV, once with the bit-accurate alignment-free
+MAC — and the predictions must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cfp32.format import lossless_fraction, prealign
+from repro.cfp32.mac import AlignmentFreeMac
+from repro.screening.model import ApproximateScreeningModel
+from repro.workloads.synthetic import make_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wl = make_workload(num_labels=512, hidden_dim=64, num_queries=24, seed=2)
+    model = ApproximateScreeningModel(wl.weights, seed=3)
+    model.calibrate(wl.features[:12], target_ratio=0.10)
+    return wl, model
+
+
+class TestCfp32EndToEnd:
+    def test_workload_has_value_locality(self, setup):
+        wl, _ = setup
+        assert lossless_fraction(wl.weights[:64]) > 0.95
+
+    def test_predictions_identical_under_cfp32(self, setup):
+        wl, model = setup
+        mac = AlignmentFreeMac()
+        features = wl.features[12:20]
+        stats = model.infer(features, top_k=1)
+        aligned_weights = [prealign(row) for row in model.classifier.weights]
+        for q, feature in enumerate(features):
+            candidates = stats.screen.candidates[q]
+            aligned_feature = prealign(feature)
+            cfp32_scores = np.array(
+                [mac.dot(aligned_feature, aligned_weights[c]).result for c in candidates]
+            )
+            cfp32_top = candidates[int(np.argmax(cfp32_scores))]
+            assert cfp32_top == stats.result.top_labels[q, 0]
+
+    def test_cfp32_scores_match_fp32_scores(self, setup):
+        wl, model = setup
+        mac = AlignmentFreeMac()
+        feature = wl.features[20]
+        exact = model.classifier.exact_scores(feature[None])[0]
+        aligned_feature = prealign(feature)
+        sample = np.arange(0, 512, 37)
+        for label in sample:
+            got = mac.dot(aligned_feature, prealign(model.classifier.weights[label])).result
+            assert got == pytest.approx(float(exact[label]), rel=1e-4, abs=1e-6)

@@ -1,0 +1,125 @@
+"""Tests for the MAC circuit area/power models against the paper's anchors."""
+
+import pytest
+
+from repro.cfp32.circuits import (
+    AcceleratorAreaModel,
+    MacCircuitModel,
+    MacDesign,
+    required_fp32_gflops,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return MacCircuitModel(MacDesign.NAIVE)
+
+
+@pytest.fixture(scope="module")
+def skh():
+    return MacCircuitModel(MacDesign.SK_HYNIX)
+
+
+@pytest.fixture(scope="module")
+def af():
+    return MacCircuitModel(MacDesign.ALIGNMENT_FREE)
+
+
+class TestFig9Anchors:
+    def test_area_ratios(self, naive, skh, af):
+        assert naive.area_units / af.area_units == pytest.approx(1.73, rel=0.02)
+        assert skh.area_units / af.area_units == pytest.approx(1.38, rel=0.02)
+
+    def test_power_ratios(self, naive, skh, af):
+        assert naive.power_units / af.power_units == pytest.approx(1.53, rel=0.02)
+        assert skh.power_units / af.power_units == pytest.approx(1.19, rel=0.02)
+
+    def test_ordering(self, naive, skh, af):
+        assert naive.area_units > skh.area_units > af.area_units
+        assert naive.power_units > skh.power_units > af.power_units
+
+
+class TestSection42Anchors:
+    def test_alignment_share_is_37_7pct(self, naive):
+        assert naive.alignment_area_fraction() == pytest.approx(0.377, abs=0.01)
+
+    def test_alignment_free_has_no_alignment_components(self, af):
+        assert af.alignment_area_fraction() == 0.0
+
+    def test_naive_gflops_under_budget(self, naive):
+        """§4.2: naive circuit reaches ~29.2 GFLOPS in the FP32 budget."""
+        assert naive.gflops_under_area(0.139) == pytest.approx(29.2, rel=0.05)
+
+    def test_af_gflops_under_budget(self, af):
+        assert af.gflops_under_area(0.139) == pytest.approx(50.0, rel=0.05)
+
+    def test_whole_mac_rounding(self, naive):
+        frac = naive.gflops_under_area(0.139, whole_macs=False)
+        whole = naive.gflops_under_area(0.139, whole_macs=True)
+        assert whole <= frac
+
+    def test_iso_throughput_area(self, naive, af):
+        """§6.2: the naive circuit matching the 64-MAC array's 51.2 GFLOPS
+        needs ~0.24 mm² where the alignment-free one needs 0.139 mm²."""
+        assert naive.area_for_gflops(51.2) == pytest.approx(0.24, rel=0.02)
+        assert af.area_for_gflops(51.2) == pytest.approx(0.139, rel=0.02)
+
+    def test_iso_throughput_power(self, naive):
+        """§6.2: the naive equivalent burns ~51.8 mW."""
+        assert naive.power_for_gflops(51.2) == pytest.approx(51.8, rel=0.02)
+
+    def test_input_validation(self, naive):
+        with pytest.raises(ConfigurationError):
+            naive.area_for_gflops(-1)
+        with pytest.raises(ConfigurationError):
+            naive.gflops_under_area(-1)
+
+
+class TestTable4:
+    def test_totals(self):
+        acc = AcceleratorAreaModel()
+        assert acc.total_area_mm2 == pytest.approx(0.1836, abs=0.002)
+        assert acc.total_power_mw == pytest.approx(52.93, abs=0.5)
+
+    def test_fits_cortex_r5_budget(self):
+        assert AcceleratorAreaModel().fits_budget(0.21)
+
+    def test_naive_version_busts_budget(self):
+        naive_acc = AcceleratorAreaModel(fp32_design=MacDesign.NAIVE)
+        assert not naive_acc.fits_budget(0.21)
+
+    def test_breakdown_rows(self):
+        rows = AcceleratorAreaModel().breakdown()
+        assert set(rows) == {"FP32 MAC", "INT4 MAC", "Comparator", "Scheduler"}
+        assert rows["FP32 MAC"]["area_mm2"] == pytest.approx(0.139, rel=0.01)
+        assert rows["FP32 MAC"]["power_mw"] == pytest.approx(33.87, rel=0.01)
+        assert rows["INT4 MAC"]["area_mm2"] == pytest.approx(0.044)
+        assert rows["Comparator"]["power_mw"] == pytest.approx(0.016)
+
+    def test_fp32_share_roughly_75pct(self):
+        """Table 4 narration: FP32 MAC is ~75.7% of area, ~63.9% of power."""
+        acc = AcceleratorAreaModel()
+        assert acc.fp32_area_mm2 / acc.total_area_mm2 == pytest.approx(0.757, abs=0.01)
+        assert acc.fp32_power_mw / acc.total_power_mw == pytest.approx(0.639, abs=0.01)
+
+
+class TestRequiredGflops:
+    def test_paper_figure(self):
+        """§4.2: LSTM-W33K needs 34.8 GFLOPS to keep up with 8 GB/s."""
+        assert required_fp32_gflops(8e9, batch_size=8.7) == pytest.approx(34.8)
+
+    def test_af_keeps_up_where_naive_cannot(self):
+        needed = required_fp32_gflops(8e9, batch_size=8.7)
+        assert 29.2 < needed <= 50.0
+
+    def test_scales_linearly_with_batch(self):
+        assert required_fp32_gflops(8e9, 16) == pytest.approx(
+            2 * required_fp32_gflops(8e9, 8)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_fp32_gflops(0, 8)
+        with pytest.raises(ConfigurationError):
+            required_fp32_gflops(8e9, 0)

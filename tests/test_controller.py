@@ -1,0 +1,111 @@
+"""Tests for the per-channel flash controller (repro.ssd.controller)."""
+
+import pytest
+
+from repro.config import FlashConfig
+from repro.errors import SimulationError
+from repro.ssd.channel import Channel
+from repro.ssd.controller import (
+    CommandKind,
+    FlashCommand,
+    FlashController,
+    route_commands,
+)
+from repro.ssd.geometry import FlashGeometry, PhysicalAddress
+from repro.units import us
+
+
+def config() -> FlashConfig:
+    return FlashConfig(
+        channels=2,
+        packages_per_channel=2,
+        dies_per_package=2,
+        planes_per_die=1,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        read_latency=us(30),
+    )
+
+
+def make_controller(channel_index=0, overhead=0.0):
+    cfg = config()
+    channel = Channel(channel_index, cfg)
+    return FlashController(channel, FlashGeometry(cfg), command_overhead=overhead)
+
+
+def read(ch, pkg=0, die=0, block=0, page=0):
+    return FlashCommand(CommandKind.READ, PhysicalAddress(ch, pkg, die, 0, block, page))
+
+
+class TestSubmit:
+    def test_empty_batch_is_instant(self):
+        ctrl = make_controller()
+        result = ctrl.submit(1.0, [])
+        assert result.start == result.finish == 1.0
+        assert result.commands == 0
+
+    def test_single_read_timing(self):
+        ctrl = make_controller()
+        result = ctrl.submit(0.0, [read(0)])
+        assert result.finish == pytest.approx(us(30) + 4096 / 1e9)
+
+    def test_multi_die_batch_overlaps_senses(self):
+        ctrl = make_controller()
+        batch = [read(0, pkg=0, die=0), read(0, pkg=0, die=1), read(0, pkg=1, die=0)]
+        result = ctrl.submit(0.0, batch)
+        # Senses overlap; the bus serializes 3 transfers after the sense.
+        assert result.finish == pytest.approx(us(30) + 3 * 4096 / 1e9)
+
+    def test_same_die_batch_serializes(self):
+        ctrl = make_controller()
+        result = ctrl.submit(0.0, [read(0, page=0), read(0, page=1)])
+        assert result.finish >= 2 * us(30)
+
+    def test_command_overhead_staggers_issues(self):
+        fast = make_controller(overhead=0.0).submit(0.0, [read(0), read(0, die=1)])
+        slow = make_controller(overhead=us(5)).submit(0.0, [read(0), read(0, die=1)])
+        assert slow.finish > fast.finish
+
+    def test_program_and_erase_kinds(self):
+        ctrl = make_controller()
+        prog = FlashCommand(
+            CommandKind.PROGRAM, PhysicalAddress(0, 0, 0, 0, 0, 0)
+        )
+        erase = FlashCommand(
+            CommandKind.ERASE, PhysicalAddress(0, 1, 0, 0, 0, 0)
+        )
+        result = ctrl.submit(0.0, [prog, erase])
+        assert result.commands == 2
+        assert result.finish >= us(3500)
+
+    def test_wrong_channel_rejected(self):
+        ctrl = make_controller(channel_index=0)
+        with pytest.raises(SimulationError):
+            ctrl.submit(0.0, [read(1)])
+
+    def test_counter(self):
+        ctrl = make_controller()
+        ctrl.submit(0.0, [read(0), read(0, die=1)])
+        assert ctrl.commands_issued == 2
+
+    def test_makespan_property(self):
+        ctrl = make_controller()
+        result = ctrl.submit(2.0, [read(0)])
+        assert result.makespan == pytest.approx(result.finish - 2.0)
+
+
+class TestRouting:
+    def test_routes_by_channel(self):
+        commands = [read(0), read(1), read(1, die=1)]
+        routed = route_commands(commands, channels=2)
+        assert len(routed[0]) == 1
+        assert len(routed[1]) == 2
+
+    def test_all_channels_present_even_if_empty(self):
+        routed = route_commands([read(0)], channels=4)
+        assert set(routed) == {0, 1, 2, 3}
+        assert routed[3] == []
+
+    def test_out_of_range_channel_rejected(self):
+        with pytest.raises(SimulationError):
+            route_commands([read(5)], channels=2)

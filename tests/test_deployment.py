@@ -1,0 +1,79 @@
+"""Tests for the weight-deployment timing model (repro.core.deployment)."""
+
+import pytest
+
+from repro.config import ECSSDConfig
+from repro.core.deployment import DeploymentModel, PREALIGN_BYTES_PER_SECOND
+from repro.errors import ConfigurationError
+from repro.workloads.benchmarks import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DeploymentModel()
+
+
+class TestProgramBandwidth:
+    def test_die_limited_value(self, model):
+        """8 channels x 8 dies x 4 KiB / 660 us ~ 397 MB/s device-wide."""
+        assert model.program_bandwidth == pytest.approx(
+            64 * 4096 / 660e-6, rel=0.01
+        )
+
+    def test_far_below_host_link(self, model):
+        assert model.program_bandwidth < ECSSDConfig().host_bandwidth
+
+
+class TestDeploy:
+    def test_s100m_is_program_bound(self, model):
+        timing = model.deploy(get_benchmark("XMLCNN-S100M"))
+        assert timing.bottleneck == "program"
+        # 400 GB at ~400 MB/s: roughly 17 minutes of programming.
+        assert 600 < timing.program_time < 2000
+
+    def test_total_accounts_pipeline_overlap(self, model):
+        timing = model.deploy(get_benchmark("XMLCNN-S100M"))
+        expected = (
+            timing.prealign_time
+            + timing.int4_transfer_time
+            + max(timing.fp32_transfer_time, timing.program_time)
+            + timing.l2p_setup_time
+        )
+        assert timing.total_time == pytest.approx(expected)
+
+    def test_small_benchmark_fast(self, model):
+        timing = model.deploy(get_benchmark("GNMT-E32K"))
+        assert timing.total_time < 5.0
+
+    def test_scales_with_matrix_size(self, model):
+        small = model.deploy(get_benchmark("XMLCNN-S10M"))
+        big = model.deploy(get_benchmark("XMLCNN-S100M"))
+        assert big.program_time == pytest.approx(10 * small.program_time, rel=0.01)
+
+    def test_oversize_rejected(self, model):
+        huge = get_benchmark("XMLCNN-S100M").scaled(3_000_000_000, "huge")
+        with pytest.raises(ConfigurationError):
+            model.deploy(huge)
+
+    def test_prealign_uses_measured_rate(self, model):
+        spec = get_benchmark("GNMT-E32K")
+        timing = model.deploy(spec)
+        assert timing.prealign_time == pytest.approx(
+            spec.fp32_matrix_bytes / PREALIGN_BYTES_PER_SECOND
+        )
+
+
+class TestAmortization:
+    def test_break_even_query_count(self, model):
+        spec = get_benchmark("XMLCNN-S100M")
+        queries = model.amortization_queries(spec, time_per_query=0.8)
+        deploy = model.deploy(spec).total_time
+        # At that query count, deployment is exactly 1% of serving time.
+        assert deploy == pytest.approx(0.01 * queries * 0.8)
+
+    def test_validation(self, model):
+        spec = get_benchmark("GNMT-E32K")
+        with pytest.raises(ConfigurationError):
+            model.amortization_queries(spec, time_per_query=0)
+        with pytest.raises(ConfigurationError):
+            model.amortization_queries(spec, time_per_query=1.0, overhead=0)

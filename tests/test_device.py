@@ -1,0 +1,131 @@
+"""Tests for the assembled SSD device (repro.ssd.device)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ECSSDConfig, FlashConfig
+from repro.errors import SimulationError
+from repro.ssd.device import SSDDevice
+from repro.ssd.geometry import PhysicalAddress
+from repro.units import us
+
+
+def small_device() -> SSDDevice:
+    flash = FlashConfig(
+        channels=4,
+        packages_per_channel=2,
+        dies_per_package=2,
+        planes_per_die=1,
+        blocks_per_plane=16,
+        pages_per_block=32,
+        read_latency=us(30),
+    )
+    return SSDDevice(ECSSDConfig(flash=flash))
+
+
+class TestSSDMode:
+    def test_write_then_read_roundtrip(self):
+        dev = small_device()
+        t_write = dev.host_write(list(range(16)))
+        assert t_write > 0
+        t_read = dev.host_read(list(range(16)))
+        assert t_read > t_write
+
+    def test_write_spreads_programs_across_channels(self):
+        dev = small_device()
+        # LPAs spanning all channel ranges.
+        lpas = [dev.ftl.channel_logical_range(c).start for c in range(4)]
+        dev.host_write(lpas)
+        programs = [sum(d.programs for d in ch.dies) for ch in dev.channels]
+        assert all(p == 1 for p in programs)
+
+    def test_clock_is_monotonic(self):
+        dev = small_device()
+        t1 = dev.host_write([0, 1])
+        t2 = dev.host_write([2, 3])
+        assert t2 >= t1
+
+    def test_advance_clock_rejects_past(self):
+        dev = small_device()
+        dev.host_write([0])
+        with pytest.raises(SimulationError):
+            dev.advance_clock(0.0)
+
+
+class TestFetchPages:
+    def test_balanced_fetch_uses_all_channels(self):
+        dev = small_device()
+        addresses = [PhysicalAddress(c, 0, 0, 0, 0, p) for c in range(4) for p in range(3)]
+        result = dev.fetch_pages(addresses, start=0.0)
+        assert result.pages_per_channel == [3, 3, 3, 3]
+        assert result.total_pages == 12
+
+    def test_makespan_set_by_busiest_channel(self):
+        dev = small_device()
+        skewed = [PhysicalAddress(0, 0, 0, 0, 0, p) for p in range(8)]
+        skewed += [PhysicalAddress(1, 0, 0, 0, 0, 0)]
+        result = dev.fetch_pages(skewed, start=0.0)
+        assert result.channel_finish[0] == result.finish
+        assert result.channel_finish[1] < result.finish
+
+    def test_imbalance_slows_fetch(self):
+        dev1, dev2 = small_device(), small_device()
+        balanced = [
+            PhysicalAddress(c, p % 2, p // 2 % 2, 0, 0, p)
+            for c in range(4)
+            for p in range(4)
+        ]
+        skewed = [PhysicalAddress(0, p % 2, p // 2 % 2, 0, p // 4, p % 4) for p in range(16)]
+        t_balanced = dev1.fetch_pages(balanced, start=0.0).makespan
+        t_skewed = dev2.fetch_pages(skewed, start=0.0).makespan
+        assert t_skewed > 2 * t_balanced
+
+    def test_empty_fetch(self):
+        dev = small_device()
+        result = dev.fetch_pages([], start=5.0)
+        assert result.finish == 5.0
+        assert result.total_pages == 0
+        assert result.utilization(dev.page_transfer_time) == 0.0
+
+    def test_utilization_bounds(self):
+        dev = small_device()
+        addresses = [
+            PhysicalAddress(c, p % 2, 0, 0, 0, p) for c in range(4) for p in range(4)
+        ]
+        result = dev.fetch_pages(addresses, start=0.0)
+        util = result.utilization(dev.page_transfer_time)
+        assert 0.0 < util <= 1.0
+
+    def test_fetch_logical_translates(self):
+        dev = small_device()
+        dev.host_write(list(range(8)))
+        dev.reset_timing()
+        result = dev.fetch_logical(list(range(8)), start=0.0)
+        assert result.total_pages == 8
+
+
+class TestHousekeeping:
+    def test_reset_timing_clears_clock_and_counters(self):
+        dev = small_device()
+        dev.host_write(list(range(4)))
+        dev.reset_timing()
+        assert dev.clock == 0.0
+        assert all(ch.pages_transferred == 0 for ch in dev.channels)
+
+    def test_reset_keeps_mappings(self):
+        dev = small_device()
+        dev.host_write([7])
+        dev.reset_timing()
+        assert dev.ftl.is_mapped(7)
+
+    def test_page_size_passthrough(self):
+        dev = small_device()
+        assert dev.page_size == 4096
+        assert dev.page_transfer_time == pytest.approx(4096 / 1e9)
+
+    def test_channel_bus_utilizations_shape(self):
+        dev = small_device()
+        t = dev.host_write(list(range(8)))
+        utils = dev.channel_bus_utilizations(t)
+        assert len(utils) == 4
+        assert all(0 <= u <= 1 for u in utils)

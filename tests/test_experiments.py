@@ -1,0 +1,140 @@
+"""Smoke + shape tests for the per-figure experiment drivers.
+
+Full-scale reproductions run in ``benchmarks/``; here each driver runs on a
+reduced workload and its *qualitative* paper properties are asserted: who
+wins, monotonicity, and rough factors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as exp
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return exp.fig8_breakdown(
+        benchmarks=("GNMT-E32K",), queries=16, sample_tiles=6
+    )
+
+
+class TestFig8:
+    def test_five_steps(self, fig8):
+        assert len(fig8) == 5
+        assert fig8[0].speedup_vs_baseline == pytest.approx(1.0)
+
+    def test_speedups_monotone(self, fig8):
+        speedups = [s.speedup_vs_baseline for s in fig8]
+        assert speedups == sorted(speedups)
+
+    def test_final_speedup_near_paper(self, fig8):
+        """Paper: 10.5x end-to-end; demand the right ballpark."""
+        assert 6.0 <= fig8[-1].speedup_vs_baseline <= 16.0
+
+    def test_baseline_utilization_under_10pct(self, fig8):
+        assert fig8[0].fp32_utilization < 0.12
+
+    def test_final_utilization_high(self, fig8):
+        """Paper: 94.7%; demand >= 85%."""
+        assert fig8[-1].fp32_utilization >= 0.85
+
+    def test_utilization_monotone(self, fig8):
+        utils = [s.fp32_utilization for s in fig8]
+        assert utils == sorted(utils)
+
+
+class TestFig9:
+    def test_matches_paper_ratios(self):
+        rows = exp.fig9_mac_comparison()
+        by_design = {r.design: r for r in rows}
+        for row in rows:
+            assert row.area_ratio == pytest.approx(row.paper_area_ratio, rel=0.02)
+            assert row.power_ratio == pytest.approx(row.paper_power_ratio, rel=0.02)
+        assert by_design["alignment_free"].area_ratio == 1.0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return exp.fig10_hetero_layout(queries=16, sample_tiles=5)
+
+    def test_hetero_always_wins(self, points):
+        assert all(p.speedup > 1.0 for p in points)
+
+    def test_low_ratio_benefits_most(self, points):
+        """Paper: 1.73x at 5%, decreasing with ratio."""
+        speedups = [p.speedup for p in points]
+        assert speedups[0] == max(speedups)
+
+    def test_average_speedup_ballpark(self, points):
+        avg = float(np.mean([p.speedup for p in points]))
+        assert 1.1 <= avg <= 2.2  # paper: 1.43x
+
+
+class TestFig11:
+    def test_learned_more_balanced_than_uniform(self):
+        uniform, learned = exp.fig11_access_pattern()
+        assert learned.balance > uniform.balance
+        assert learned.balance > 0.8
+
+    def test_same_total_pages(self):
+        uniform, learned = exp.fig11_access_pattern()
+        assert uniform.pages_per_channel.sum() == learned.pages_per_channel.sum()
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return exp.fig12_interleaving(
+            benchmarks=("GNMT-E32K", "Transformer-W268K"), queries=16, sample_tiles=5
+        )
+
+    def test_ordering_on_every_benchmark(self, results):
+        for r in results:
+            assert r.times["learned"] < r.times["uniform"] < r.times["sequential"]
+
+    def test_ratios_ballpark(self, results):
+        """Paper: learned beats uniform ~1.43x and sequential ~7.57x."""
+        lu = np.mean([r.speedup("uniform", "learned") for r in results])
+        ls = np.mean([r.speedup("sequential", "learned") for r in results])
+        assert 1.1 <= lu <= 2.0
+        assert 4.0 <= ls <= 12.0
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return exp.fig13_end_to_end(
+            benchmarks=("XMLCNN-S10M",), queries=8, sample_tiles=5
+        )
+
+    def test_ecssd_first_and_fastest(self, results):
+        assert results[0].architecture == "ECSSD"
+        assert all(r.mean_slowdown_vs_ecssd >= 1.0 for r in results)
+
+    def test_paper_ordering(self, results):
+        slowdowns = [r.mean_slowdown_vs_ecssd for r in results[1:]]
+        assert slowdowns == sorted(slowdowns, reverse=True)
+
+    def test_factors_within_2x_of_paper(self, results):
+        for r in results[1:]:
+            assert r.paper_slowdown is not None
+            ratio = r.mean_slowdown_vs_ecssd / r.paper_slowdown
+            assert 0.5 <= ratio <= 2.0
+
+
+class TestSec71:
+    def test_scalability_points(self):
+        points = exp.sec71_scalability()
+        by_gib = {p.dram_capacity_gib: p for p in points}
+        # Paper names the supported scenarios 50M / 100M / 200M: each DRAM
+        # size must hold its scenario but not the next one up.
+        assert 50 <= by_gib[8].max_categories_millions < 100
+        assert 100 <= by_gib[16].max_categories_millions < 200
+        assert 200 <= by_gib[32].max_categories_millions < 400
+
+    def test_scale_out_500m(self):
+        plan = exp.sec71_scale_out()
+        assert plan.devices_needed == 5  # paper: 5 ECSSDs
+        assert plan.int4_total_gib == pytest.approx(59.6, rel=0.1)  # "64 GB"
+        assert plan.fp32_total_tib == pytest.approx(1.86, rel=0.1)  # "2 TB"

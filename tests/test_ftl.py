@@ -1,0 +1,165 @@
+"""Tests for the FTL: mapping, GC, wear leveling, channel ranges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import FlashConfig
+from repro.errors import AddressError, SimulationError
+from repro.ssd.ftl import FlashTranslationLayer
+
+
+def tiny_config(**overrides) -> FlashConfig:
+    params = dict(
+        channels=2,
+        packages_per_channel=1,
+        dies_per_package=1,
+        planes_per_die=1,
+        blocks_per_plane=8,
+        pages_per_block=4,
+    )
+    params.update(overrides)
+    return FlashConfig(**params)
+
+
+class TestChannelRanges:
+    def test_ranges_are_disjoint_and_ordered(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        r0 = ftl.channel_logical_range(0)
+        r1 = ftl.channel_logical_range(1)
+        assert r0.stop == r1.start
+        assert len(r0) == len(r1) == ftl.user_pages_per_channel
+
+    def test_user_capacity_excludes_overprovisioning(self):
+        cfg = tiny_config()
+        ftl = FlashTranslationLayer(cfg, op_ratio=0.25)
+        assert ftl.user_pages_per_channel == int(cfg.pages_per_channel * 0.75)
+
+    def test_channel_of_logical_matches_ranges(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        for channel in range(2):
+            for lpa in ftl.channel_logical_range(channel):
+                assert ftl.channel_of_logical(lpa) == channel
+
+    def test_out_of_range_rejected(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        with pytest.raises(AddressError):
+            ftl.channel_of_logical(ftl.user_pages)
+        with pytest.raises(AddressError):
+            ftl.channel_logical_range(5)
+
+
+class TestMapping:
+    def test_write_lands_on_assigned_channel(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        for channel in range(2):
+            lpa = ftl.channel_logical_range(channel).start
+            assert ftl.write(lpa).channel == channel
+
+    def test_lookup_returns_written_address(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        addr = ftl.write(3)
+        assert ftl.lookup(3) == addr
+
+    def test_unmapped_lookup_fails(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        with pytest.raises(AddressError):
+            ftl.lookup(0)
+
+    def test_overwrite_moves_physical_page(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        first = ftl.write(0)
+        second = ftl.write(0)
+        assert first != second
+        assert ftl.lookup(0) == second
+        assert ftl.mapped_pages == 1
+
+    def test_trim_unmaps(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        ftl.write(0)
+        ftl.trim(0)
+        assert not ftl.is_mapped(0)
+        ftl.trim(0)  # idempotent
+
+    def test_distinct_lpas_get_distinct_ppas(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        seen = set()
+        for lpa in range(10):
+            addr = ftl.write(lpa)
+            flat = ftl.geometry.to_flat(addr)
+            assert flat not in seen
+            seen.add(flat)
+
+
+class TestGarbageCollection:
+    def test_overwrite_churn_triggers_gc(self):
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=2)
+        # Hammer a small working set far beyond one plane's capacity.
+        for i in range(200):
+            ftl.write(i % 3)
+        assert ftl.gc_events, "GC never ran under overwrite churn"
+        # All live data still resolvable.
+        for lpa in range(3):
+            ftl.lookup(lpa)
+
+    def test_gc_preserves_mapping_contents(self):
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=2)
+        stable = {10, 11}
+        for lpa in stable:
+            ftl.write(lpa)
+        before = {lpa: ftl.geometry.to_flat(ftl.lookup(lpa)) for lpa in stable}
+        for i in range(300):
+            ftl.write(i % 4)
+        # The stable pages are still mapped (possibly relocated).
+        for lpa in stable:
+            assert ftl.is_mapped(lpa)
+        assert ftl.mapped_pages == len(stable | {0, 1, 2, 3})
+        assert before  # silence unused warning; relocation is allowed
+
+    def test_gc_victim_relocation_counted(self):
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=2)
+        for i in range(300):
+            ftl.write(i % 4)
+        assert ftl.pages_relocated >= 0
+        total_relocated = sum(e.relocated_pages for e in ftl.gc_events)
+        assert total_relocated == ftl.pages_relocated
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            FlashTranslationLayer(tiny_config(), gc_threshold=0)
+        with pytest.raises(SimulationError):
+            FlashTranslationLayer(tiny_config(), op_ratio=0.9)
+
+
+class TestWearLeveling:
+    def test_erases_spread_across_blocks(self):
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=2)
+        for i in range(600):
+            ftl.write(i % 3)
+        lo, hi, mean = ftl.wear_stats()
+        assert hi >= 1, "no erases happened"
+        # Min-wear allocation keeps the spread tight.
+        assert hi - lo <= max(3, hi // 2)
+
+    def test_wear_stats_empty_device(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        assert ftl.wear_stats() == (0, 0, 0.0)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=11), min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_always_consistent(self, writes):
+        """After any write sequence, every written LPA resolves to a unique
+        physical page on its statically assigned channel."""
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=2)
+        for lpa in writes:
+            ftl.write(lpa)
+        live = set(writes)
+        flats = set()
+        for lpa in live:
+            addr = ftl.lookup(lpa)
+            assert addr.channel == ftl.channel_of_logical(lpa)
+            flat = ftl.geometry.to_flat(addr)
+            assert flat not in flats
+            flats.add(flat)
+        assert ftl.mapped_pages == len(live)

@@ -1,0 +1,129 @@
+"""Tests for graded interleaving and hotness drift."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.layout.graded import GradedInterleaving
+from repro.layout.learned import HotnessPredictor, LearnedInterleaving
+from repro.layout.placement import build_placement
+from repro.layout.uniform import UniformInterleaving
+from repro.workloads.drift import (
+    DriftingHotnessModel,
+    drifted_generator,
+    placement_balance_under_drift,
+)
+from repro.workloads.traces import CandidateTraceGenerator, LabelHotnessModel
+
+
+class TestGradedInterleaving:
+    def test_counts_balanced_per_tile(self):
+        rng = np.random.default_rng(0)
+        pred = HotnessPredictor(rng.lognormal(0, 1, 64))
+        channels = GradedInterleaving(pred).assign_channels(64, 8, 32)
+        for start in (0, 32):
+            counts = np.bincount(channels[start : start + 32], minlength=8)
+            assert counts.max() - counts.min() <= 1
+
+    def test_very_hot_vectors_spread(self):
+        scores = np.ones(64)
+        scores[:8] = 1000.0
+        pred = HotnessPredictor(scores)
+        channels = GradedInterleaving(pred).assign_channels(64, 8, 64)
+        assert len(set(channels[:8].tolist())) == 8
+
+    def test_length_mismatch_rejected(self):
+        pred = HotnessPredictor(np.ones(8))
+        with pytest.raises(WorkloadError):
+            GradedInterleaving(pred).assign_channels(16, 4, 16)
+        with pytest.raises(WorkloadError):
+            GradedInterleaving(pred).assign_channels(8, 4, 0)
+
+    def test_graded_between_uniform_and_learned(self):
+        """The ablation claim: graded beats uniform, LPT >= graded."""
+        hotness = LabelHotnessModel(num_labels=1024, run_length=1, seed=5)
+        generator = CandidateTraceGenerator(hotness, candidate_ratio=0.1, query_noise=0.05)
+        abs_sums = generator.predictor_abs_sums(0, 1024, fidelity=0.9)
+        pred = HotnessPredictor(abs_sums)
+        train = generator.tile_trace(0, 1024, num_queries=300, seed=1)
+        pred.fine_tune(train.selection_frequency(), observations=300)
+        balances = {}
+        for name, strategy in (
+            ("uniform", UniformInterleaving()),
+            ("graded", GradedInterleaving(pred)),
+            ("learned", LearnedInterleaving(pred)),
+        ):
+            placement = build_placement(strategy, 1024, 8, 4096, 4096, tile_vectors=1024)
+            trace = generator.tile_trace(0, 1024, num_queries=16, seed=7)
+            pages, peak = 0, 0
+            for candidates in trace.candidates:
+                counts = placement.pages_per_channel(candidates)
+                pages += counts.sum()
+                peak += counts.max()
+            balances[name] = pages / (8 * peak)
+        assert balances["graded"] > balances["uniform"]
+        assert balances["learned"] >= balances["graded"] - 0.03
+
+
+class TestDriftModel:
+    def test_zero_drift_is_identity(self):
+        base = LabelHotnessModel(num_labels=512, seed=1)
+        drifting = DriftingHotnessModel(base=base, drift=0.0)
+        np.testing.assert_array_equal(
+            drifting.tile_weights(0, 256), base.tile_weights(0, 256)
+        )
+
+    def test_full_drift_is_independent(self):
+        base = LabelHotnessModel(num_labels=512, seed=1)
+        drifting = DriftingHotnessModel(base=base, drift=1.0)
+        a = base.tile_weights(0, 256)
+        b = drifting.tile_weights(0, 256)
+        corr = np.corrcoef(np.log(a), np.log(b))[0, 1]
+        assert abs(corr) < 0.3
+
+    def test_intermediate_drift_correlates_with_both(self):
+        base = LabelHotnessModel(num_labels=512, seed=1)
+        half = DriftingHotnessModel(base=base, drift=0.5)
+        a = np.log(base.tile_weights(0, 256))
+        b = np.log(half.tile_weights(0, 256))
+        assert np.corrcoef(a, b)[0, 1] > 0.5
+
+    def test_seed_is_nonnegative_and_drift_dependent(self):
+        base = LabelHotnessModel(num_labels=16, seed=1)
+        s1 = DriftingHotnessModel(base=base, drift=0.3).seed
+        s2 = DriftingHotnessModel(base=base, drift=0.6).seed
+        assert s1 >= 0 and s2 >= 0
+        assert s1 != s2
+
+    def test_drift_validation(self):
+        base = LabelHotnessModel(num_labels=16, seed=1)
+        with pytest.raises(WorkloadError):
+            DriftingHotnessModel(base=base, drift=1.5)
+
+
+class TestDriftBalance:
+    def test_stale_placement_degrades_with_drift(self):
+        base = LabelHotnessModel(num_labels=1024, run_length=1, seed=3)
+        base_generator = CandidateTraceGenerator(
+            base, candidate_ratio=0.1, query_noise=0.05
+        )
+        abs_sums = base_generator.predictor_abs_sums(0, 1024, fidelity=0.9)
+        pred = HotnessPredictor(abs_sums)
+        train = base_generator.tile_trace(0, 1024, num_queries=300, seed=1)
+        pred.fine_tune(train.selection_frequency(), observations=300)
+        placement = build_placement(
+            LearnedInterleaving(pred), 1024, 8, 4096, 4096, tile_vectors=1024
+        )
+        fresh = placement_balance_under_drift(placement, base, 0.0, 0, 1024)
+        stale = placement_balance_under_drift(placement, base, 1.0, 0, 1024)
+        assert fresh > 0.85
+        assert stale < fresh - 0.1
+
+    def test_drifted_generator_changes_candidates(self):
+        base = LabelHotnessModel(num_labels=512, seed=2)
+        g0 = drifted_generator(base, 0.0)
+        g1 = drifted_generator(base, 1.0)
+        c0 = g0.tile_trace(0, 512, num_queries=1)[0] if False else g0.tile_trace(0, 512, num_queries=1).candidates[0]
+        c1 = g1.tile_trace(0, 512, num_queries=1).candidates[0]
+        overlap = len(np.intersect1d(c0, c1)) / len(c0)
+        assert overlap < 0.7

@@ -1,0 +1,125 @@
+"""Tests for the NAND die and channel models (repro.ssd.nand, .channel)."""
+
+import pytest
+
+from repro.config import FlashConfig
+from repro.errors import SimulationError
+from repro.ssd.channel import Channel
+from repro.ssd.nand import Die, FlashOperation, NandTiming
+from repro.units import us
+
+
+def config() -> FlashConfig:
+    return FlashConfig(
+        channels=2,
+        packages_per_channel=2,
+        dies_per_package=2,
+        planes_per_die=2,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        read_latency=us(30),
+        program_latency=us(660),
+        erase_latency=us(3500),
+    )
+
+
+class TestNandTiming:
+    def test_from_config(self):
+        t = NandTiming.from_config(config())
+        assert t.read == pytest.approx(us(30))
+        assert t.program == pytest.approx(us(660))
+        assert t.erase == pytest.approx(us(3500))
+
+    def test_latency_dispatch(self):
+        t = NandTiming.from_config(config())
+        assert t.latency(FlashOperation.READ) == t.read
+        assert t.latency(FlashOperation.PROGRAM) == t.program
+        assert t.latency(FlashOperation.ERASE) == t.erase
+
+
+class TestDie:
+    def test_read_occupies_die(self):
+        die = Die(0, NandTiming.from_config(config()))
+        start, end = die.execute(0.0, FlashOperation.READ)
+        assert (start, end) == (0.0, pytest.approx(us(30)))
+        start2, end2 = die.execute(0.0, FlashOperation.READ)
+        assert start2 == pytest.approx(us(30))
+
+    def test_counters(self):
+        die = Die(0, NandTiming.from_config(config()))
+        die.execute(0.0, FlashOperation.READ)
+        die.execute(0.0, FlashOperation.PROGRAM)
+        die.execute(0.0, FlashOperation.ERASE)
+        assert (die.reads, die.programs, die.erases) == (1, 1, 1)
+
+    def test_reset(self):
+        die = Die(0, NandTiming.from_config(config()))
+        die.execute(0.0, FlashOperation.READ)
+        die.reset()
+        assert die.reads == 0
+        assert die.free_at == 0.0
+
+
+class TestChannel:
+    def test_read_page_sense_then_transfer(self):
+        ch = Channel(0, config())
+        start, end = ch.read_page(0.0, die_index=0)
+        # End = sense + bus transfer of one 4 KiB page at 1 GB/s.
+        assert end == pytest.approx(us(30) + 4096 / 1e9)
+
+    def test_parallel_senses_serial_transfers(self):
+        ch = Channel(0, config())
+        ends = [ch.read_page(0.0, die_index=d)[1] for d in range(4)]
+        # All four dies sense concurrently; transfers queue on the bus.
+        page = 4096 / 1e9
+        for i, end in enumerate(sorted(ends)):
+            assert end == pytest.approx(us(30) + (i + 1) * page)
+
+    def test_same_die_reads_serialize_senses(self):
+        # The second sense waits for the first (one array op at a time);
+        # its transfer then starts as soon as both sense and bus are free.
+        ch = Channel(0, config())
+        ch.read_page(0.0, die_index=0)
+        _, end = ch.read_page(0.0, die_index=0)
+        assert end == pytest.approx(2 * us(30) + 4096 / 1e9, rel=1e-6)
+
+    def test_program_transfers_then_programs(self):
+        ch = Channel(0, config())
+        start, end = ch.program_page(0.0, die_index=1)
+        assert end == pytest.approx(4096 / 1e9 + us(660))
+
+    def test_erase_skips_bus(self):
+        ch = Channel(0, config())
+        _, end = ch.erase_block(0.0, die_index=2)
+        assert end == pytest.approx(us(3500))
+        assert ch.bus.busy_time == 0.0
+
+    def test_accounting(self):
+        ch = Channel(0, config())
+        ch.read_page(0.0, 0)
+        ch.program_page(0.0, 1)
+        assert ch.pages_transferred == 2
+        assert ch.bytes_transferred == 2 * 4096
+
+    def test_bad_die_rejected(self):
+        ch = Channel(0, config())
+        with pytest.raises(SimulationError):
+            ch.read_page(0.0, die_index=99)
+
+    def test_free_at_covers_dies_and_bus(self):
+        ch = Channel(0, config())
+        _, end = ch.program_page(0.0, die_index=0)
+        assert ch.free_at == pytest.approx(end)
+
+    def test_bus_utilization(self):
+        ch = Channel(0, config())
+        _, end = ch.read_page(0.0, 0)
+        util = ch.bus_utilization(end)
+        assert 0 < util < 1
+
+    def test_reset(self):
+        ch = Channel(0, config())
+        ch.read_page(0.0, 0)
+        ch.reset()
+        assert ch.pages_transferred == 0
+        assert ch.free_at == 0.0

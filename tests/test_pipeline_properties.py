@@ -1,0 +1,128 @@
+"""Property-based invariants of the tile pipeline timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfp32.circuits import MacDesign
+from repro.core.accelerator import AcceleratorModel
+from repro.core.pipeline import PipelineFeatures, TilePipelineModel, TileWorkload
+
+
+def tile(pages, int4_pages=None, batch=8, candidates=100):
+    return TileWorkload(
+        tile_vectors=1024,
+        shrunk_dim=256,
+        hidden_dim=1024,
+        batch=batch,
+        candidates=candidates,
+        fp32_pages_per_channel=np.asarray(pages, dtype=np.int64),
+        int4_pages_per_channel=(
+            None if int4_pages is None else np.asarray(int4_pages, dtype=np.int64)
+        ),
+        int4_bytes=128 * 1024,
+    )
+
+
+def model(mac=MacDesign.ALIGNMENT_FREE, hetero=True, overlap=True):
+    return TilePipelineModel(
+        features=PipelineFeatures(
+            mac_design=mac, heterogeneous=hetero, overlap=overlap
+        ),
+        accelerator=AcceleratorModel(fp32_design=mac),
+    )
+
+
+PAGES = st.lists(st.integers(min_value=0, max_value=200), min_size=8, max_size=8)
+
+
+class TestPipelineInvariants:
+    @given(PAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_monotone_in_page_load(self, pages):
+        """Adding a page to the busiest channel never reduces tile cost."""
+        if max(pages) == 0:
+            pages[0] = 1
+        m = model()
+        base = m.tile_timing(tile(pages)).cost
+        heavier = list(pages)
+        heavier[int(np.argmax(pages))] += 1
+        assert m.tile_timing(tile(heavier)).cost >= base
+
+    @given(PAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_hetero_never_slower_than_homo(self, pages):
+        """Removing INT4 interference can only help (same tile)."""
+        hetero = model(hetero=True).tile_timing(tile(pages)).cost
+        homo = model(hetero=False).tile_timing(
+            tile(pages, int4_pages=[4] * 8)
+        ).cost
+        assert hetero <= homo + 1e-15
+
+    @given(PAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_never_slower_than_serial_when_heterogeneous(self, pages):
+        """With the heterogeneous layout, the §4.5 dual-module overlap can
+        only hide work.  (In the *homogeneous* layout overlap forces the
+        INT4 and candidate streams to interleave on the channels, and for
+        candidate-heavy tiles the mixing penalty can exceed the overlap
+        benefit — exactly the interference §4.3's layout eliminates.)"""
+        overlap = model(hetero=True, overlap=True).tile_timing(tile(pages))
+        serial_model = TilePipelineModel(
+            features=PipelineFeatures(
+                mac_design=MacDesign.ALIGNMENT_FREE,
+                heterogeneous=True,
+                overlap=False,
+            ),
+        )
+        serial = serial_model.tile_timing(tile(pages))
+        assert overlap.cost <= serial.cost * (1 + 1e-12)
+
+    @given(PAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_free_never_slower_than_naive(self, pages):
+        af = model(mac=MacDesign.ALIGNMENT_FREE).tile_timing(tile(pages)).cost
+        naive = model(mac=MacDesign.NAIVE).tile_timing(tile(pages)).cost
+        assert af <= naive + 1e-15
+
+    @given(PAGES, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_cost_monotone_in_batch(self, pages, batch):
+        """More queries per batch never reduce per-tile time."""
+        m = model()
+        small = m.tile_timing(tile(pages, batch=batch)).cost
+        large = m.tile_timing(tile(pages, batch=batch + 1)).cost
+        assert large >= small - 1e-15
+
+    @given(PAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_utilization_bounded(self, pages):
+        m = model()
+        result = m.simulate([tile(pages)])
+        assert 0.0 <= result.fp32_channel_utilization <= 1.0 + 1e-9
+
+    @given(st.lists(PAGES, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_total_is_sum_of_costs_plus_overhead(self, tile_pages):
+        m = model()
+        tiles = [tile(p) for p in tile_pages]
+        result = m.simulate(tiles, keep_timings=True)
+        assert result.total_time == pytest.approx(
+            sum(t.cost for t in result.tile_timings) + result.overhead_time
+        )
+
+    @given(PAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_is_fastest_arrangement(self, pages):
+        """For a fixed page total, the perfectly balanced arrangement is
+        never slower than any other distribution of the same pages."""
+        total = sum(pages)
+        if total == 0:
+            return
+        m = model()
+        arbitrary = m.tile_timing(tile(pages)).cost
+        base = total // 8
+        balanced = [base] * 8
+        for i in range(total % 8):
+            balanced[i] += 1
+        assert m.tile_timing(tile(balanced)).cost <= arbitrary + 1e-15

@@ -1,0 +1,149 @@
+"""Tests for the placement framework (repro.layout.placement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.layout.placement import WeightPlacement, build_placement
+from repro.layout.sequential import SequentialStoring
+from repro.layout.uniform import UniformInterleaving
+
+
+def uniform_placement(num_vectors=64, channels=4, vector_bytes=4096, page=4096):
+    return build_placement(
+        UniformInterleaving(), num_vectors, channels, vector_bytes, page
+    )
+
+
+class TestBuildPlacement:
+    def test_slots_are_dense_per_channel(self):
+        pl = uniform_placement(num_vectors=16, channels=4)
+        for channel in range(4):
+            slots = np.sort(pl.slot_of[pl.channel_of == channel])
+            np.testing.assert_array_equal(slots, np.arange(len(slots)))
+
+    def test_strategy_name_recorded(self):
+        assert uniform_placement().strategy_name == "uniform"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_placement(UniformInterleaving(), 0, 4, 4096, 4096)
+        with pytest.raises(ConfigurationError):
+            build_placement(UniformInterleaving(), 8, 0, 4096, 4096)
+        with pytest.raises(ConfigurationError):
+            build_placement(UniformInterleaving(), 8, 4, 0, 4096)
+
+
+class TestPackingArithmetic:
+    def test_page_sized_vectors(self):
+        pl = uniform_placement(vector_bytes=4096, page=4096)
+        assert pl.vectors_per_page == 1
+        assert pl.pages_per_vector == 1
+
+    def test_half_page_vectors_share(self):
+        pl = uniform_placement(vector_bytes=2048, page=4096)
+        assert pl.vectors_per_page == 2
+
+    def test_multi_page_vectors(self):
+        pl = uniform_placement(vector_bytes=6000, page=4096)
+        assert pl.vectors_per_page == 0
+        assert pl.pages_per_vector == 2
+
+    def test_channel_pages_page_sized(self):
+        pl = uniform_placement(num_vectors=64, channels=4, vector_bytes=4096)
+        assert pl.channel_pages(0) == 16
+
+    def test_channel_pages_shared(self):
+        pl = uniform_placement(num_vectors=64, channels=4, vector_bytes=2048)
+        assert pl.channel_pages(0) == 8
+
+    def test_page_index_of(self):
+        pl = uniform_placement(num_vectors=8, channels=4, vector_bytes=2048)
+        # Vectors 0 and 4 share channel 0 slots 0 and 1 -> same page.
+        assert pl.page_index_of(0) == 0
+        assert pl.page_index_of(4) == 0
+
+
+class TestPagesPerChannel:
+    def test_empty_candidates(self):
+        pl = uniform_placement()
+        np.testing.assert_array_equal(pl.pages_per_channel(np.array([])), [0, 0, 0, 0])
+
+    def test_counts_match_assignment(self):
+        pl = uniform_placement(num_vectors=16, channels=4)
+        counts = pl.pages_per_channel(np.arange(16))
+        np.testing.assert_array_equal(counts, [4, 4, 4, 4])
+
+    def test_shared_pages_counted_once(self):
+        pl = uniform_placement(num_vectors=16, channels=4, vector_bytes=2048)
+        # Vectors 0 and 4 share channel 0's first page.
+        counts = pl.pages_per_channel(np.array([0, 4]))
+        np.testing.assert_array_equal(counts, [1, 0, 0, 0])
+
+    def test_multi_page_vectors_count_fully(self):
+        pl = uniform_placement(num_vectors=8, channels=4, vector_bytes=6000)
+        counts = pl.pages_per_channel(np.array([0, 1]))
+        np.testing.assert_array_equal(counts, [2, 2, 0, 0])
+
+    def test_out_of_range_candidates_rejected(self):
+        pl = uniform_placement(num_vectors=8)
+        with pytest.raises(WorkloadError):
+            pl.pages_per_channel(np.array([99]))
+        with pytest.raises(WorkloadError):
+            pl.pages_per_channel(np.array([-1]))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_total_pages_bounded_property(self, seed):
+        """Page counts never exceed candidate count (sharing only merges)
+        and cover every candidate's channel."""
+        rng = np.random.default_rng(seed)
+        num_vectors = int(rng.integers(8, 200))
+        channels = int(rng.integers(1, 9))
+        vector_bytes = int(rng.choice([1024, 2048, 4096, 6000]))
+        pl = build_placement(
+            UniformInterleaving(), num_vectors, channels, vector_bytes, 4096
+        )
+        k = int(rng.integers(1, num_vectors + 1))
+        candidates = rng.choice(num_vectors, size=k, replace=False)
+        counts = pl.pages_per_channel(candidates)
+        assert counts.sum() <= k * max(1, pl.pages_per_vector)
+        assert counts.sum() >= -(-k // max(1, pl.vectors_per_page or 1))
+        touched = set(pl.channel_of[candidates].tolist())
+        assert set(np.flatnonzero(counts).tolist()) <= touched
+
+
+class TestFetchPageLists:
+    def test_lists_match_counts(self):
+        pl = uniform_placement(num_vectors=32, channels=4)
+        candidates = np.array([0, 1, 2, 5, 9, 13])
+        counts = pl.pages_per_channel(candidates)
+        lists = pl.fetch_page_lists(candidates)
+        for channel, pages in lists.items():
+            assert len(pages) == counts[channel]
+            assert (np.diff(pages) > 0).all()
+
+    def test_empty(self):
+        pl = uniform_placement()
+        assert pl.fetch_page_lists(np.array([])) == {}
+
+    def test_multi_page_lists(self):
+        pl = uniform_placement(num_vectors=8, channels=2, vector_bytes=8192)
+        lists = pl.fetch_page_lists(np.array([0]))
+        np.testing.assert_array_equal(lists[0], [0, 1])
+
+
+class TestBalanceMetric:
+    def test_perfect_balance(self):
+        pl = uniform_placement(num_vectors=16, channels=4)
+        assert pl.balance_metric(np.arange(16)) == 1.0
+
+    def test_single_channel_imbalance(self):
+        pl = build_placement(SequentialStoring(), 64, 4, 4096, 4096)
+        # All candidates in one slab -> 1/4 balance.
+        assert pl.balance_metric(np.arange(8)) == pytest.approx(0.25)
+
+    def test_empty_is_balanced(self):
+        pl = uniform_placement()
+        assert pl.balance_metric(np.array([])) == 1.0

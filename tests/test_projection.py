@@ -1,0 +1,86 @@
+"""Tests for the approximate projection (repro.screening.projection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.screening.projection import (
+    DEFAULT_PROJECTION_SCALE,
+    ProjectionMatrix,
+    project,
+)
+
+
+class TestCreation:
+    def test_default_scale_is_quarter(self):
+        assert DEFAULT_PROJECTION_SCALE == 0.25
+        proj = ProjectionMatrix.create(1024)
+        assert proj.output_dim == 256
+
+    def test_rounding_of_small_dims(self):
+        assert ProjectionMatrix.create(10, scale=0.25).output_dim == 2
+        assert ProjectionMatrix.create(2, scale=0.25).output_dim == 1
+
+    def test_entries_are_scaled_signs(self):
+        proj = ProjectionMatrix.create(64, seed=1)
+        expected = 1.0 / np.sqrt(proj.output_dim)
+        assert set(np.unique(np.abs(proj.matrix))) == {np.float32(expected)}
+
+    def test_deterministic_per_seed(self):
+        a = ProjectionMatrix.create(64, seed=5)
+        b = ProjectionMatrix.create(64, seed=5)
+        c = ProjectionMatrix.create(64, seed=6)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert not np.array_equal(a.matrix, c.matrix)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ProjectionMatrix.create(0)
+        with pytest.raises(WorkloadError):
+            ProjectionMatrix.create(64, scale=0.0)
+        with pytest.raises(WorkloadError):
+            ProjectionMatrix.create(64, scale=1.5)
+
+    def test_rejects_expanding_matrix(self):
+        with pytest.raises(WorkloadError):
+            ProjectionMatrix(matrix=np.zeros((4, 8), dtype=np.float32))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(WorkloadError):
+            ProjectionMatrix(matrix=np.zeros(8, dtype=np.float32))
+
+
+class TestProject:
+    def test_shapes(self):
+        proj = ProjectionMatrix.create(128, seed=0)
+        out = project(np.ones((5, 128), dtype=np.float32), proj)
+        assert out.shape == (5, 32)
+
+    def test_dim_mismatch_rejected(self):
+        proj = ProjectionMatrix.create(128)
+        with pytest.raises(WorkloadError):
+            project(np.ones((5, 64)), proj)
+
+    def test_linear(self):
+        proj = ProjectionMatrix.create(64, seed=2)
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=(2, 64)).astype(np.float32)
+        lhs = project((x + y)[None], proj)
+        rhs = project(x[None], proj) + project(y[None], proj)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-5)
+
+    @given(st.integers(min_value=32, max_value=256))
+    @settings(max_examples=20, deadline=None)
+    def test_inner_products_preserved_in_expectation(self, dim):
+        """Johnson-Lindenstrauss sanity: projected inner products track the
+        originals well enough for screening (correlation, not exactness)."""
+        proj = ProjectionMatrix.create(dim, scale=0.5, seed=7)
+        rng = np.random.default_rng(dim)
+        a = rng.normal(size=(200, dim)).astype(np.float32)
+        b = rng.normal(size=(200, dim)).astype(np.float32)
+        exact = (a * b).sum(axis=1)
+        approx = (project(a, proj) * project(b, proj)).sum(axis=1)
+        corr = np.corrcoef(exact, approx)[0, 1]
+        # Theory for K = D/2 sign projections: corr ~ 1/sqrt(3) ~ 0.577.
+        assert corr > 0.4

@@ -1,0 +1,146 @@
+"""Tests for the host-device wire protocol (repro.core.protocol)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    Command,
+    DeviceFirmware,
+    HostLink,
+    Opcode,
+    Response,
+    Status,
+)
+from repro.errors import ProtocolError
+from repro.workloads.synthetic import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(num_labels=512, hidden_dim=64, num_queries=24, seed=4)
+
+
+class TestFraming:
+    def test_command_roundtrip(self):
+        cmd = Command(Opcode.SCREEN, tag=42, payload=b"hello")
+        out = Command.decode(cmd.encode())
+        assert out == cmd
+
+    def test_response_roundtrip(self):
+        resp = Response(tag=7, status=Status.OK, payload=b"data")
+        out = Response.decode(resp.encode())
+        assert out == resp
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(Command(Opcode.ENABLE, 1).encode())
+        blob[0] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            Command.decode(bytes(blob))
+
+    def test_corrupt_payload_rejected(self):
+        blob = bytearray(Command(Opcode.SCREEN, 1, b"payload").encode())
+        blob[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            Command.decode(bytes(blob))
+
+    def test_truncated_rejected(self):
+        blob = Command(Opcode.SCREEN, 1, b"payload").encode()
+        with pytest.raises(ProtocolError):
+            Command.decode(blob[:10])
+        with pytest.raises(ProtocolError):
+            Command.decode(blob[:-2])
+
+    def test_unknown_opcode_rejected(self):
+        blob = bytearray(Command(Opcode.ENABLE, 1).encode())
+        struct.pack_into("<H", blob, 2, 0xEE)
+        with pytest.raises(ProtocolError):
+            Command.decode(bytes(blob))
+
+    def test_tag_range_checked(self):
+        with pytest.raises(ProtocolError):
+            Command(Opcode.ENABLE, tag=2**32).encode()
+
+
+class TestFirmware:
+    def test_full_session(self, workload):
+        link = HostLink()
+        assert link.call(Opcode.ENABLE).status is Status.OK
+        assert link.deploy(workload.weights).status is Status.OK
+        assert link.send_inputs(workload.features[:4]).status is Status.OK
+        screen = link.call(Opcode.SCREEN)
+        assert screen.status is Status.OK
+        (ratio,) = struct.unpack("<f", screen.payload)
+        assert 0 < ratio <= 1
+        assert link.call(Opcode.CLASSIFY).status is Status.OK
+        labels = link.get_results()
+        assert labels.shape == (4, 5)
+
+    def test_results_match_direct_device(self, workload):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        link.deploy(workload.weights)
+        link.call(
+            Opcode.FILTER_THRESHOLD, struct.pack("<f", float("-inf"))
+        )
+        link.send_inputs(workload.features[:4])
+        link.call(Opcode.SCREEN)
+        labels = link.get_results()
+        exact = workload.features[:4] @ workload.weights.T
+        np.testing.assert_array_equal(labels[:, 0], exact.argmax(axis=1))
+
+    def test_ssd_mode_rejects_accelerator_commands(self, workload):
+        link = HostLink()
+        response = link.deploy(workload.weights)
+        assert response.status is Status.BAD_STATE
+
+    def test_out_of_order_rejected(self):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        assert link.call(Opcode.SCREEN).status is Status.BAD_STATE
+        assert link.call(Opcode.GET_RESULTS).status is Status.BAD_STATE
+
+    def test_classify_requires_cfp32_inputs(self, workload):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        link.deploy(workload.weights)
+        firmware = link.firmware
+        # Bypass the helper: send only INT4 inputs.
+        from repro.core.protocol import _pack_array
+
+        link.call(Opcode.INT4_INPUT, _pack_array(workload.features[:2]))
+        link.call(Opcode.SCREEN)
+        firmware._cfp32_received = False
+        assert link.call(Opcode.CLASSIFY).status is Status.BAD_STATE
+
+    def test_disable_clears_state(self, workload):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        link.deploy(workload.weights)
+        link.send_inputs(workload.features[:2])
+        link.call(Opcode.SCREEN)
+        link.call(Opcode.DISABLE)
+        link.call(Opcode.ENABLE)
+        assert link.call(Opcode.GET_RESULTS).status is Status.BAD_STATE
+
+    def test_corrupt_command_gets_error_response(self):
+        firmware = DeviceFirmware()
+        blob = bytearray(Command(Opcode.ENABLE, 1).encode())
+        blob[0] ^= 0xFF
+        response = Response.decode(firmware.handle(bytes(blob)))
+        assert response.status in (Status.BAD_MAGIC, Status.BAD_CRC)
+
+    def test_malformed_array_payload(self):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        response = link.call(Opcode.DEPLOY, b"\x01\x02\x03")
+        assert response.status is Status.BAD_PAYLOAD
+
+    def test_history_tracks_statuses(self, workload):
+        link = HostLink()
+        link.call(Opcode.ENABLE)
+        link.call(Opcode.SCREEN)  # bad state
+        statuses = list(link.history.values())
+        assert Status.OK in statuses
+        assert Status.BAD_STATE in statuses

@@ -1,0 +1,122 @@
+"""Tests for INT4 screening and threshold filtering (repro.screening.screener)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.screening.quantization import Int4Quantizer
+from repro.screening.screener import Int4Screener
+
+
+def make_screener(num_labels=100, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(num_labels, dim)).astype(np.float32)
+    return Int4Screener(Int4Quantizer().quantize(weights)), weights
+
+
+class TestScores:
+    def test_shape(self):
+        screener, _ = make_screener()
+        scores = screener.scores(np.ones((4, 16), dtype=np.float32))
+        assert scores.shape == (4, 100)
+
+    def test_single_vector_promoted(self):
+        screener, _ = make_screener()
+        assert screener.scores(np.ones(16, dtype=np.float32)).shape == (1, 100)
+
+    def test_scores_track_exact_inner_products(self):
+        screener, weights = make_screener(seed=3)
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(8, 16)).astype(np.float32)
+        exact = features @ weights.T
+        approx = screener.scores(features)
+        for row_e, row_a in zip(exact, approx):
+            assert np.corrcoef(row_e, row_a)[0, 1] > 0.95
+
+    def test_dim_mismatch_rejected(self):
+        screener, _ = make_screener()
+        with pytest.raises(WorkloadError):
+            screener.scores(np.ones((2, 8)))
+
+    def test_integer_arithmetic_consistency(self):
+        """Scores equal the dequantized matrices' float product exactly."""
+        screener, _ = make_screener(num_labels=20, dim=8)
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(3, 8)).astype(np.float32)
+        fq = Int4Quantizer().quantize(features)
+        manual = fq.dequantize() @ screener.weights.dequantize().T
+        np.testing.assert_allclose(screener.scores(features), manual, rtol=1e-5)
+
+
+class TestScreen:
+    def test_no_threshold_keeps_everything(self):
+        screener, _ = make_screener()
+        result = screener.screen(np.ones((2, 16), dtype=np.float32))
+        assert result.candidate_ratio() == 1.0
+
+    def test_high_threshold_keeps_minimum(self):
+        screener, _ = make_screener()
+        result = screener.screen(
+            np.ones((2, 16), dtype=np.float32), threshold=1e9, min_candidates=3
+        )
+        assert all(len(c) == 3 for c in result.candidates)
+
+    def test_threshold_is_semantically_applied(self):
+        screener, _ = make_screener()
+        features = np.random.default_rng(0).normal(size=(4, 16)).astype(np.float32)
+        scores = screener.scores(features)
+        cutoff = float(np.quantile(scores, 0.9))
+        result = screener.screen(features, threshold=cutoff)
+        for row, selected in zip(scores, result.candidates):
+            expected = np.flatnonzero(row >= cutoff)
+            if len(expected) >= 1:
+                np.testing.assert_array_equal(selected, expected)
+
+    def test_per_query_thresholds(self):
+        screener, _ = make_screener()
+        features = np.random.default_rng(0).normal(size=(2, 16)).astype(np.float32)
+        loose_tight = np.array([-1e9, 1e9], dtype=np.float32)
+        result = screener.screen(features, threshold=loose_tight)
+        assert len(result.candidates[0]) == 100
+        assert len(result.candidates[1]) == 1  # min_candidates fallback
+
+    def test_candidates_sorted_unique(self):
+        screener, _ = make_screener()
+        features = np.random.default_rng(5).normal(size=(3, 16)).astype(np.float32)
+        result = screener.screen(features, threshold=0.0)
+        for selected in result.candidates:
+            assert (np.diff(selected) > 0).all()
+
+    def test_candidate_counts(self):
+        screener, _ = make_screener()
+        result = screener.screen(np.ones((2, 16), dtype=np.float32), threshold=1e9)
+        np.testing.assert_array_equal(result.candidate_counts(), [1, 1])
+
+
+class TestTopRatio:
+    def test_exact_ratio(self):
+        screener, _ = make_screener(num_labels=200)
+        features = np.random.default_rng(0).normal(size=(4, 16)).astype(np.float32)
+        result = screener.screen_top_ratio(features, 0.10)
+        assert all(len(c) == 20 for c in result.candidates)
+        assert result.candidate_ratio() == pytest.approx(0.10)
+
+    def test_selected_are_the_top_scores(self):
+        screener, _ = make_screener(num_labels=50)
+        features = np.random.default_rng(1).normal(size=(2, 16)).astype(np.float32)
+        result = screener.screen_top_ratio(features, 0.2)
+        for row, selected in zip(result.scores, result.candidates):
+            cutoff = np.sort(row)[-10]
+            assert (row[selected] >= cutoff).all()
+
+    def test_ratio_bounds(self):
+        screener, _ = make_screener()
+        with pytest.raises(WorkloadError):
+            screener.screen_top_ratio(np.ones((1, 16)), 0.0)
+        with pytest.raises(WorkloadError):
+            screener.screen_top_ratio(np.ones((1, 16)), 1.5)
+
+    def test_full_ratio_keeps_all(self):
+        screener, _ = make_screener(num_labels=30)
+        result = screener.screen_top_ratio(np.ones((1, 16), dtype=np.float32), 1.0)
+        assert len(result.candidates[0]) == 30

@@ -1,0 +1,227 @@
+"""Tests for the workload layer: Table 3 registry, synthetic data, traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import GB
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    INTERLEAVING_SET,
+    LARGE_SCALE,
+    BenchmarkSpec,
+    get_benchmark,
+    list_benchmarks,
+)
+from repro.workloads.synthetic import generate_features, generate_weights, make_workload
+from repro.workloads.traces import (
+    CandidateTraceGenerator,
+    LabelHotnessModel,
+)
+
+
+class TestBenchmarkRegistry:
+    def test_all_seven_table3_rows(self):
+        assert len(list_benchmarks()) == 7
+        assert set(LARGE_SCALE) <= set(BENCHMARKS)
+        assert set(INTERLEAVING_SET) <= set(BENCHMARKS)
+
+    @pytest.mark.parametrize(
+        "name,labels,hidden",
+        [
+            ("GNMT-E32K", 32_317, 1024),
+            ("LSTM-W33K", 33_278, 1500),
+            ("Transformer-W268K", 267_744, 512),
+            ("XMLCNN-A670K", 670_091, 512),
+            ("XMLCNN-S10M", 10_000_000, 1024),
+            ("XMLCNN-S50M", 50_000_000, 1024),
+            ("XMLCNN-S100M", 100_000_000, 1024),
+        ],
+    )
+    def test_table3_dimensions(self, name, labels, hidden):
+        spec = get_benchmark(name)
+        assert spec.num_labels == labels
+        assert spec.hidden_dim == hidden
+
+    def test_s100m_matrix_sizes_match_section_6_1(self):
+        """§6.1: S100M 4/32-bit matrices are 12.8 GB / 400 GB."""
+        spec = get_benchmark("XMLCNN-S100M")
+        assert spec.shrunk_dim == 256
+        assert spec.int4_matrix_bytes == pytest.approx(12.8 * GB, rel=0.01)
+        assert spec.fp32_matrix_bytes == pytest.approx(400 * GB, rel=0.03)
+
+    def test_projection_scale(self):
+        assert get_benchmark("LSTM-W33K").shrunk_dim == 375
+
+    def test_flop_accounting(self):
+        spec = get_benchmark("GNMT-E32K")
+        assert spec.fp32_flops_full(2) == 2 * 2 * 32_317 * 1024
+        assert spec.fp32_flops_screened(2) < spec.fp32_flops_full(2)
+        assert spec.int4_ops(1) == 2 * 32_317 * 256
+
+    def test_expected_candidates(self):
+        spec = get_benchmark("GNMT-E32K")
+        assert spec.expected_candidates == round(32_317 * 0.10)
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("nope")
+
+    def test_scaled_copy(self):
+        spec = get_benchmark("XMLCNN-S100M").scaled(5, "tiny")
+        assert spec.num_labels == 5
+        assert spec.name.endswith("tiny")
+
+    def test_invalid_spec(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkSpec("x", "m", "d", 0, 10)
+        with pytest.raises(WorkloadError):
+            BenchmarkSpec("x", "m", "d", 10, 10, candidate_ratio=0)
+
+
+class TestSyntheticWeights:
+    def test_shapes_and_determinism(self):
+        w1, c1 = generate_weights(256, 64, seed=3)
+        w2, c2 = generate_weights(256, 64, seed=3)
+        assert w1.shape == (256, 64)
+        np.testing.assert_array_equal(w1, w2)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_cluster_runs_are_contiguous(self):
+        _, clusters = generate_weights(256, 32, cluster_run=16, seed=0)
+        for start in range(0, 256, 16):
+            run = clusters[start : start + 16]
+            assert len(set(run.tolist())) == 1
+
+    def test_custom_cluster_map(self):
+        custom = np.zeros(64, dtype=np.int64)
+        w, c = generate_weights(64, 32, cluster_of_label=custom)
+        np.testing.assert_array_equal(c, custom)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_weights(0, 8)
+        with pytest.raises(WorkloadError):
+            generate_weights(8, 8, cluster_of_label=np.zeros(3, dtype=np.int64))
+
+    def test_weights_have_value_locality(self):
+        from repro.cfp32.format import lossless_fraction
+
+        weights, _ = generate_weights(128, 64, seed=1)
+        assert lossless_fraction(weights) > 0.95
+
+
+class TestSyntheticFeatures:
+    def test_queries_align_with_targets(self):
+        wl = make_workload(num_labels=512, hidden_dim=128, num_queries=32, seed=4)
+        exact = wl.features @ wl.weights.T
+        top1 = exact.argmax(axis=1)
+        # The top-1 label's cluster matches the query's cluster mostly.
+        agree = (wl.cluster_of_label[top1] == wl.cluster_of_query).mean()
+        assert agree > 0.8
+
+    def test_cluster_skew(self):
+        wl = make_workload(num_labels=512, hidden_dim=64, num_queries=400, seed=0)
+        counts = np.bincount(wl.cluster_of_query, minlength=16)
+        assert counts.max() > 3 * max(1, counts[counts > 0].min())
+
+    def test_validation(self):
+        weights, clusters = generate_weights(64, 32)
+        with pytest.raises(WorkloadError):
+            generate_features(0, 32, weights, clusters)
+
+
+class TestHotnessModel:
+    def test_deterministic_per_tile(self):
+        model = LabelHotnessModel(num_labels=4096, seed=1)
+        a = model.tile_weights(3, 512)
+        b = model.tile_weights(3, 512)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_tiles_differ(self):
+        model = LabelHotnessModel(num_labels=4096, seed=1)
+        assert not np.array_equal(model.tile_weights(0, 512), model.tile_weights(1, 512))
+
+    def test_run_structure(self):
+        model = LabelHotnessModel(num_labels=4096, run_length=8, seed=1)
+        w = model.tile_weights(0, 64)
+        assert w.shape == (64,)
+        assert (w > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LabelHotnessModel(num_labels=0)
+        model = LabelHotnessModel(num_labels=16)
+        with pytest.raises(WorkloadError):
+            model.tile_weights(0, 0)
+
+
+class TestTraceGenerator:
+    def make(self, ratio=0.1, noise=0.3):
+        model = LabelHotnessModel(num_labels=8192, seed=2)
+        return CandidateTraceGenerator(model, candidate_ratio=ratio, query_noise=noise)
+
+    def test_candidate_count_matches_ratio(self):
+        gen = self.make(ratio=0.1)
+        trace = gen.tile_trace(0, 1000, num_queries=5)
+        assert all(len(c) == 100 for c in trace.candidates)
+
+    def test_candidates_sorted_in_range(self):
+        gen = self.make()
+        trace = gen.tile_trace(2, 512, num_queries=4)
+        for c in trace.candidates:
+            assert (np.diff(c) > 0).all()
+            assert 0 <= c.min() and c.max() < 512
+
+    def test_global_candidates_offset(self):
+        gen = self.make()
+        trace = gen.tile_trace(2, 512, num_queries=1)
+        np.testing.assert_array_equal(
+            trace.global_candidates()[0], trace.candidates[0] + 1024
+        )
+
+    def test_low_noise_queries_agree(self):
+        quiet = self.make(noise=0.01).tile_trace(0, 512, num_queries=4)
+        loud = self.make(noise=5.0).tile_trace(0, 512, num_queries=4)
+
+        def overlap(trace):
+            a, b = trace.candidates[0], trace.candidates[1]
+            return len(np.intersect1d(a, b)) / len(a)
+
+        assert overlap(quiet) > 0.9
+        assert overlap(loud) < overlap(quiet)
+
+    def test_selection_frequency(self):
+        gen = self.make(noise=0.01)
+        trace = gen.tile_trace(0, 512, num_queries=10)
+        freq = trace.selection_frequency()
+        assert freq.shape == (512,)
+        assert freq.max() == 1.0  # hottest labels always selected
+
+    def test_predictor_abs_sums_fidelity(self):
+        gen = self.make()
+        perfect = gen.predictor_abs_sums(0, 512, fidelity=1.0)
+        useless = gen.predictor_abs_sums(0, 512, fidelity=0.0)
+        truth = np.log(gen.hotness.tile_weights(0, 512))
+        assert np.corrcoef(perfect, truth)[0, 1] > 0.95
+        assert abs(np.corrcoef(useless, truth)[0, 1]) < 0.35
+
+    def test_validation(self):
+        model = LabelHotnessModel(num_labels=16)
+        with pytest.raises(WorkloadError):
+            CandidateTraceGenerator(model, candidate_ratio=0.0)
+        gen = CandidateTraceGenerator(model)
+        with pytest.raises(WorkloadError):
+            gen.tile_trace(0, 16, num_queries=0)
+        with pytest.raises(WorkloadError):
+            gen.predictor_abs_sums(0, 16, fidelity=2.0)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_tiles_reproducible_property(self, tile_index):
+        gen = self.make()
+        a = gen.tile_trace(tile_index, 256, num_queries=3, seed=9)
+        b = gen.tile_trace(tile_index, 256, num_queries=3, seed=9)
+        for x, y in zip(a.candidates, b.candidates):
+            np.testing.assert_array_equal(x, y)
