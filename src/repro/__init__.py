@@ -28,10 +28,19 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — the ECSSD device, pipeline, and Table 1 API;
 * :mod:`repro.baselines` — CPU / GenStore / SmartSSD / GPU / ENMC models;
 * :mod:`repro.workloads` — Table 3 benchmarks and synthetic data;
-* :mod:`repro.analysis` — per-figure experiment drivers and reporting.
+* :mod:`repro.analysis` — per-figure experiment drivers and reporting;
+* :mod:`repro.obs` — metrics registry, sim-time span tracer, exporters.
 """
 
-from .config import AcceleratorConfig, ECSSDConfig, FlashConfig, default_config
+import logging as _logging
+
+from .config import (
+    AcceleratorConfig,
+    ECSSDConfig,
+    FlashConfig,
+    ObservabilityConfig,
+    default_config,
+)
 from .core.api import ECSSD
 from .core.ecssd import ECSSDevice, PerformanceReport
 from .core.pipeline import PipelineFeatures
@@ -48,6 +57,11 @@ from .errors import (
 
 __version__ = "1.0.0"
 
+# Library etiquette: the package logs through the "repro" logger tree but
+# never configures handlers for the host application; repro.obs.
+# configure_logging (or the CLI's -v flag) opts in to console output.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 __all__ = [
     "ECSSD",
     "ECSSDevice",
@@ -56,6 +70,7 @@ __all__ = [
     "ECSSDConfig",
     "FlashConfig",
     "AcceleratorConfig",
+    "ObservabilityConfig",
     "default_config",
     "ReproError",
     "ConfigurationError",

@@ -30,7 +30,16 @@ def geometric_mean(values: Iterable[float]) -> float:
 def utilization_timeline(
     pages_per_channel_series: Sequence[np.ndarray],
 ) -> List[float]:
-    """Per-tile mean/max channel balance for a series of fetch patterns."""
+    """Per-tile mean-to-peak channel-load ratio for a series of fetch patterns.
+
+    Each entry is ``mean(pages) / max(pages)`` for one tile's per-channel
+    page counts — 1.0 for a perfectly balanced (or idle) tile, approaching
+    ``1/channels`` when a single channel carries everything.  Raises
+    :class:`~repro.errors.WorkloadError` on an empty series: a silent ``[]``
+    would make a plot of "balance over time" vacuously healthy.
+    """
+    if not pages_per_channel_series:
+        raise WorkloadError("utilization timeline of an empty series")
     out: List[float] = []
     for counts in pages_per_channel_series:
         counts = np.asarray(counts)

@@ -3,11 +3,18 @@
 Gives the reproduction a front door that requires no Python:
 
 * ``python -m repro benchmarks`` — print the Table 3 registry;
-* ``python -m repro quickstart`` — run a small end-to-end inference;
+* ``python -m repro quickstart`` — run a small end-to-end inference
+  (``--trace-out``/``--metrics-out`` additionally emit telemetry);
 * ``python -m repro figure <fig8|fig9|fig10|fig11|fig12|fig13>`` — regenerate
   one paper figure and print the ours-vs-paper table;
+* ``python -m repro report`` — write the full reproduction report;
+* ``python -m repro trace`` — run an instrumented inference and export a
+  Chrome/Perfetto trace, Prometheus metrics, and JSON-lines telemetry;
 * ``python -m repro validate`` — cross-check the analytic and event timing
   backends.
+
+``-v``/``-vv`` (before or after the subcommand) raise the logging level of
+the ``repro`` logger tree to INFO/DEBUG.
 """
 
 from __future__ import annotations
@@ -37,23 +44,92 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_from_args(args: argparse.Namespace):
+    """Build+install an observability session when any output flag is set."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    jsonl_out = getattr(args, "jsonl_out", None)
+    if not (trace_out or metrics_out or jsonl_out):
+        return None
+    from . import obs
+    from .config import ObservabilityConfig
+
+    return obs.configure(
+        ObservabilityConfig(
+            trace_out=trace_out, metrics_out=metrics_out, jsonl_out=jsonl_out
+        )
+    )
+
+
+def _replay_flash_commands(session, cap_per_channel: int = 48) -> int:
+    """Replay the run's per-channel page loads through the event simulator.
+
+    The analytic pipeline knows how many pages each channel moved but not
+    when each flash command ran; this replay issues the same per-channel
+    page counts (capped, to keep traces small) as real READ commands through
+    a :class:`~repro.ssd.trace.TracingController` so the exported timeline
+    carries per-command ``flash/ch<N>`` slices next to the tile spans.
+    """
+    from .config import ECSSDConfig
+    from .ssd.controller import CommandKind, FlashCommand
+    from .ssd.device import SSDDevice
+    from .ssd.trace import CommandTrace, TracingController
+
+    counter = session.registry.get("ecssd_pages_fetched_total")
+    config = ECSSDConfig()
+    per_channel = {c: 8 for c in range(config.flash.channels)}
+    if counter is not None:
+        for labels, value in counter.samples():
+            channel = int(dict(labels).get("channel", 0))
+            per_channel[channel] = min(int(value), cap_per_channel)
+    device = SSDDevice(config)
+    trace = CommandTrace()
+    for channel, pages in sorted(per_channel.items()):
+        if pages <= 0:
+            continue
+        base = device.ftl.channel_logical_range(channel).start
+        lpas = [base + i for i in range(pages)]
+        for lpa in lpas:
+            device.ftl.write(lpa)
+        commands = [
+            FlashCommand(CommandKind.READ, device.ftl.lookup(lpa)) for lpa in lpas
+        ]
+        TracingController(device.controllers[channel], trace).submit(0.0, commands)
+    return session.tracer.add_command_trace(trace)
+
+
+def _finish_session(session) -> None:
+    """Replay flash slices, write configured outputs, restore recorders."""
+    if session is None:
+        return
+    if session.tracer.enabled:
+        _replay_flash_commands(session)
+    for path in session.flush():
+        print(f"wrote {path}")
+    session.uninstall()
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_seconds
     from .core.api import ECSSD
     from .workloads.synthetic import make_workload
 
-    workload = make_workload(
-        num_labels=args.labels, hidden_dim=256, num_queries=48, seed=args.seed
-    )
-    device = ECSSD()
-    device.ecssd_enable()
-    device.weight_deploy(workload.weights, train_features=workload.features[:32])
-    queries = workload.features[32:40]
-    device.int4_input_send(queries)
-    device.cfp32_input_send(device.pre_align(queries))
-    device.int4_screen()
-    device.cfp32_classify()
-    labels = device.get_results()
+    session = _session_from_args(args)
+    try:
+        workload = make_workload(
+            num_labels=args.labels, hidden_dim=256, num_queries=48, seed=args.seed
+        )
+        device = ECSSD()
+        device.ecssd_enable()
+        device.weight_deploy(workload.weights, train_features=workload.features[:32])
+        queries = workload.features[32:40]
+        device.int4_input_send(queries)
+        device.cfp32_input_send(device.pre_align(queries))
+        device.int4_screen()
+        device.cfp32_classify()
+        labels = device.get_results()
+    finally:
+        _finish_session(session)
     exact = queries @ workload.weights.T
     agreement = float((labels[:, 0] == exact.argmax(axis=1)).mean())
     report = device.last_report
@@ -61,6 +137,32 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     print(f"top-1 agreement with exact FP32: {agreement:.0%}")
     print(f"device batch latency: {format_seconds(report.scaled_total_time)}")
     print(f"fp32 channel utilization: {report.fp32_channel_utilization:.1%}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Instrumented inference whose sole product is the telemetry files."""
+    from .core.api import ECSSD
+    from .workloads.synthetic import make_workload
+
+    args.trace_out = args.out
+    session = _session_from_args(args)
+    try:
+        workload = make_workload(
+            num_labels=args.labels, hidden_dim=256, num_queries=48, seed=args.seed
+        )
+        device = ECSSD()
+        device.ecssd_enable()
+        device.weight_deploy(workload.weights, train_features=workload.features[:32])
+        device.int4_input_send(workload.features[32:40])
+        device.cfp32_input_send(device.pre_align(workload.features[32:40]))
+        device.int4_screen()
+        spans = len(session.tracer.spans)
+        tracks = session.tracer.tracks()
+    finally:
+        _finish_session(session)
+    print(f"recorded {spans} pipeline spans across tracks: {', '.join(tracks)}")
+    print("open the trace file in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -138,7 +240,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report_builder import build_report
 
-    text = build_report(queries=args.queries, sample_tiles=args.tiles)
+    session = _session_from_args(args)
+    try:
+        text = build_report(queries=args.queries, sample_tiles=args.tiles)
+    finally:
+        _finish_session(session)
     if args.output == "-":
         print(text)
     else:
@@ -168,38 +274,96 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _add_verbose(parser: argparse.ArgumentParser, dest: str = "verbose") -> None:
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        dest=dest,
+        action="count",
+        default=0,
+        help="-v for INFO, -vv for DEBUG logging",
+    )
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace-event JSON file (Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write Prometheus text-exposition metrics",
+    )
+    parser.add_argument(
+        "--jsonl-out",
+        default=None,
+        help="write spans and metric samples as JSON lines",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ECSSD (ISCA 2023) reproduction command line",
     )
+    # -v works on both sides of the subcommand; the two counts are summed
+    # (subparser defaults would clobber a pre-subcommand value otherwise).
+    _add_verbose(parser, dest="verbose_global")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("benchmarks", help="print the Table 3 registry")
+    benchmarks = sub.add_parser("benchmarks", help="print the Table 3 registry")
+    _add_verbose(benchmarks)
 
     quickstart = sub.add_parser("quickstart", help="run a small end-to-end inference")
     quickstart.add_argument("--labels", type=int, default=4096)
     quickstart.add_argument("--seed", type=int, default=42)
+    _add_observability_flags(quickstart)
+    _add_verbose(quickstart)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=_FIGURES)
+    _add_verbose(figure)
 
     report = sub.add_parser("report", help="write a full reproduction report")
     report.add_argument("--output", default="REPORT.md")
     report.add_argument("--queries", type=int, default=16)
     report.add_argument("--tiles", type=int, default=6)
+    _add_observability_flags(report)
+    _add_verbose(report)
 
-    sub.add_parser("validate", help="cross-check analytic vs event backends")
+    trace = sub.add_parser(
+        "trace", help="run an instrumented inference and export its telemetry"
+    )
+    trace.add_argument("--labels", type=int, default=4096)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event output path"
+    )
+    trace.add_argument("--metrics-out", default=None)
+    trace.add_argument("--jsonl-out", default=None)
+    _add_verbose(trace)
+
+    validate = sub.add_parser(
+        "validate", help="cross-check analytic vs event backends"
+    )
+    _add_verbose(validate)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .obs import configure_logging
+
     args = build_parser().parse_args(argv)
+    verbosity = getattr(args, "verbose_global", 0) + getattr(args, "verbose", 0)
+    configure_logging(verbosity)
     handlers = {
         "benchmarks": _cmd_benchmarks,
         "quickstart": _cmd_quickstart,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

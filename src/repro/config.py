@@ -16,6 +16,7 @@ setup fails at build time, not deep inside a simulation run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .errors import ConfigurationError
 from .units import GiB, KiB, MiB, TiB, gbps, gflops, gops, us
@@ -192,6 +193,33 @@ class ECSSDConfig:
     def with_dram_capacity(self, dram_capacity: int) -> "ECSSDConfig":
         """A copy of this config with a different DRAM capacity (§7.1)."""
         return replace(self, dram_capacity=dram_capacity)
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Telemetry wiring for one process: enable flags and output paths.
+
+    Passed to :func:`repro.obs.configure`.  Both recorders default to on
+    (constructing this object at all is the opt-in); the output paths are
+    optional — a ``None`` path means that exporter never writes a file.
+    ``verbosity`` feeds :func:`repro.obs.configure_logging` (0 = WARNING,
+    1 = INFO, 2+ = DEBUG).
+    """
+
+    metrics_enabled: bool = True
+    tracing_enabled: bool = True
+    trace_out: Optional[str] = None  # Chrome trace-event JSON (Perfetto)
+    metrics_out: Optional[str] = None  # Prometheus text exposition
+    jsonl_out: Optional[str] = None  # one JSON object per span/sample
+    verbosity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.verbosity < 0:
+            raise ConfigurationError("verbosity cannot be negative")
+        for name in ("trace_out", "metrics_out", "jsonl_out"):
+            value = getattr(self, name)
+            if value is not None and not str(value):
+                raise ConfigurationError(f"ObservabilityConfig.{name} is empty")
 
 
 def default_config() -> ECSSDConfig:

@@ -17,6 +17,7 @@ the knee.  The batch-sweep ablation bench plots the curve.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -25,6 +26,9 @@ import numpy as np
 from ..config import ECSSDConfig
 from ..core.pipeline import PipelineFeatures, TilePipelineModel, TileWorkload
 from ..errors import ConfigurationError
+from ..obs import get_registry, get_tracer
+
+logger = logging.getLogger(__name__)
 from ..workloads.benchmarks import BenchmarkSpec
 from ..workloads.traces import CandidateTraceGenerator
 
@@ -104,13 +108,27 @@ class BatchingAnalyzer:
                     int4_bytes=int4_tile_bytes,
                 )
             )
-        result = self.pipeline.simulate(tiles)
+        tracer = get_tracer()
+        with tracer.span(
+            "batch_evaluate", batch=batch, benchmark=self.spec.name
+        ) as span:
+            result = self.pipeline.simulate(tiles)
+            span.set_sim_window(0.0, result.total_time)
         for timing in (self.pipeline.tile_timing(t) for t in tiles):
             if timing.fp32_compute > timing.fp32_fetch:
                 compute_bound += 1
         scale = total_tiles / len(tiles)
         batch_time = result.tile_time_total * scale + result.overhead_time
         wait = 0.0 if arrival_rate == 0 else (batch - 1) / (2.0 * arrival_rate)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "ecssd_batch_time_seconds", "end-to-end batch latency by size"
+            ).observe(batch_time, batch=batch)
+        logger.debug(
+            "batch %d on %s: %.6fs/batch, %.1f qps",
+            batch, self.spec.name, batch_time, batch / batch_time,
+        )
         return BatchPoint(
             batch=batch,
             batch_time=batch_time,

@@ -19,6 +19,7 @@ feature flag changes *timing*, never *predictions*.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -27,6 +28,7 @@ import numpy as np
 from ..cfp32.circuits import MacDesign
 from ..config import ECSSDConfig
 from ..errors import ConfigurationError, WorkloadError
+from ..obs import get_registry, get_tracer
 from ..layout.heterogeneous import WeightLayout, heterogeneous_layout, homogeneous_layout
 from ..layout.learned import HotnessPredictor, LearnedInterleaving, empirical_frequencies
 from ..layout.placement import InterleavingStrategy, WeightPlacement, build_placement
@@ -37,6 +39,8 @@ from ..workloads.benchmarks import BenchmarkSpec
 from ..workloads.traces import CandidateTraceGenerator
 from .accelerator import AcceleratorModel
 from .pipeline import PipelineFeatures, RunResult, TilePipelineModel, TileWorkload
+
+logger = logging.getLogger(__name__)
 
 # L2P table + management data resident in DRAM (reserved from the 4-bit share).
 _DRAM_RESERVED = 256 * 1024 * 1024
@@ -229,17 +233,36 @@ class ECSSDevice:
         placement = self.deployment.placement
         assert placement is not None
         features = np.atleast_2d(np.asarray(features, dtype=np.float32))
-        stats = self.model.infer(features, top_k=top_k)
-        batch = features.shape[0]
-        tiles = self._tiles_from_candidates(
-            stats.screen.candidates, placement, batch
-        )
-        host_in = batch * (
-            4 * self.deployment.hidden_dim + (self.deployment.shrunk_dim + 1) // 2
-        )
-        host_out = batch * top_k * 8
-        run = self.pipeline.simulate(
-            tiles, host_bytes_in=host_in, host_bytes_out=host_out
+        tracer = get_tracer()
+        with tracer.span(
+            "run_inference", queries=features.shape[0], label=self.features.label
+        ) as span:
+            stats = self.model.infer(features, top_k=top_k)
+            batch = features.shape[0]
+            tiles = self._tiles_from_candidates(
+                stats.screen.candidates, placement, batch
+            )
+            host_in = batch * (
+                4 * self.deployment.hidden_dim
+                + (self.deployment.shrunk_dim + 1) // 2
+            )
+            host_out = batch * top_k * 8
+            run = self.pipeline.simulate(
+                tiles, host_bytes_in=host_in, host_bytes_out=host_out
+            )
+            span.set_sim_window(0.0, run.total_time)
+            span.set_attr("tiles", run.tiles)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ecssd_inference_runs_total", "inference passes executed"
+            ).inc(mode="functional")
+            registry.counter(
+                "ecssd_inference_queries_total", "queries served"
+            ).inc(batch, mode="functional")
+        logger.info(
+            "run_inference: %d queries, %d tiles, %.6fs simulated",
+            batch, run.tiles, run.total_time,
         )
         report = PerformanceReport(
             run=run,
@@ -358,7 +381,23 @@ class ECSSDevice:
         host_in = queries * (
             4 * deployment.hidden_dim + (deployment.shrunk_dim + 1) // 2
         )
-        run = self.pipeline.simulate(tiles, host_bytes_in=0, host_bytes_out=0)
+        tracer = get_tracer()
+        with tracer.span(
+            "run_trace",
+            queries=queries,
+            sample_tiles=sample_tiles,
+            label=self.features.label,
+        ) as span:
+            run = self.pipeline.simulate(tiles, host_bytes_in=0, host_bytes_out=0)
+            span.set_sim_window(0.0, run.total_time)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ecssd_inference_runs_total", "inference passes executed"
+            ).inc(mode="trace")
+            registry.counter(
+                "ecssd_inference_queries_total", "queries served"
+            ).inc(queries, mode="trace")
         # Scale steady-state tile time to the full label space and query
         # count; one-time overheads (sense fill, host upload) are paid once.
         batches = -(-queries // batch)
@@ -367,6 +406,10 @@ class ECSSDevice:
             run.tile_time_total * scale
             + run.overhead_time
             + host_in / self.config.host_bandwidth
+        )
+        logger.info(
+            "run_trace: %d queries over %d/%d tiles, %.6fs scaled",
+            queries, sample_tiles, total_tiles, scaled,
         )
         return PerformanceReport(
             run=run,

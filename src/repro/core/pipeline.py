@@ -22,6 +22,7 @@ time``; one initial sense latency is charged per run, not per tile.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -30,7 +31,10 @@ import numpy as np
 from ..cfp32.circuits import MacDesign
 from ..config import ECSSDConfig
 from ..errors import ConfigurationError, SimulationError
+from ..obs import FP32_TRACK, INT4_TRACK, PIPELINE_TRACK, get_registry, get_tracer
 from .accelerator import AcceleratorModel
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -248,6 +252,79 @@ class TilePipelineModel:
             fp32_total_pages=total_pages,
         )
 
+    # --- telemetry -------------------------------------------------------------------------
+    def _record_tile(
+        self,
+        registry,
+        tracer,
+        tile: TileWorkload,
+        timing: TileTiming,
+        cursor: float,
+        index: int,
+    ) -> None:
+        """Emit one tile's metrics and phase spans at sim offset ``cursor``.
+
+        Purely observational — never feeds back into the timing math, so a
+        run with recorders installed reports bit-identical times.
+        """
+        if registry.enabled:
+            registry.histogram(
+                "ecssd_tile_latency_seconds",
+                "steady-state cost of one pipeline tile",
+            ).observe(timing.cost)
+            pages = registry.counter(
+                "ecssd_pages_fetched_total",
+                "FP32 candidate pages fetched, by channel",
+            )
+            for channel, count in enumerate(tile.fp32_pages_per_channel):
+                if count:
+                    pages.inc(int(count), channel=channel)
+        if tracer.enabled:
+            name = f"tile{index}"
+            end = cursor + timing.cost
+            tracer.add_span(
+                name,
+                cursor,
+                end,
+                track=PIPELINE_TRACK,
+                attrs={
+                    "index": index,
+                    "candidates": tile.candidates,
+                    "fp32_pages": timing.fp32_total_pages,
+                    "fp32_max_pages": timing.fp32_max_pages,
+                },
+            )
+            if self.features.overlap:
+                # Dual-module layout: both sides start with the tile window;
+                # within a side, fetch streams underneath compute.
+                tracer.add_span(
+                    f"{name}/int4_fetch", cursor, cursor + timing.int4_fetch,
+                    track=INT4_TRACK,
+                )
+                tracer.add_span(
+                    f"{name}/int4_compute", cursor, cursor + timing.int4_compute,
+                    track=INT4_TRACK,
+                )
+                tracer.add_span(
+                    f"{name}/fp32_fetch", cursor, cursor + timing.fp32_fetch,
+                    track=FP32_TRACK,
+                )
+                tracer.add_span(
+                    f"{name}/fp32_compute", cursor, cursor + timing.fp32_compute,
+                    track=FP32_TRACK,
+                )
+            else:
+                # Serial phases: lay them end to end inside the tile window.
+                t = cursor
+                for phase, duration, track in (
+                    ("int4_fetch", timing.int4_fetch, INT4_TRACK),
+                    ("int4_compute", timing.int4_compute, INT4_TRACK),
+                    ("fp32_fetch", timing.fp32_fetch, FP32_TRACK),
+                    ("fp32_compute", timing.fp32_compute, FP32_TRACK),
+                ):
+                    tracer.add_span(f"{name}/{phase}", t, t + duration, track=track)
+                    t += duration
+
     # --- run-level aggregation -------------------------------------------------------------
     def simulate(
         self,
@@ -263,6 +340,9 @@ class TilePipelineModel:
         first batch upload is serial, so the full transfer is charged —
         conservative and identical across compared configurations).
         """
+        registry = get_registry()
+        tracer = get_tracer()
+        observing = registry.enabled or tracer.enabled
         total = 0.0
         busy = 0.0
         fp32_bytes = 0
@@ -271,6 +351,8 @@ class TilePipelineModel:
         fill = 0.0
         for tile in tiles:
             timing = self.tile_timing(tile)
+            if observing:
+                self._record_tile(registry, tracer, tile, timing, total, count)
             total += timing.cost
             busy += timing.fp32_busy
             fp32_bytes += timing.fp32_total_pages * self.config.flash.page_size
@@ -290,6 +372,22 @@ class TilePipelineModel:
         # One initial sense latency per run (steady-state streaming after).
         overhead = self.config.flash.read_latency + fill + host_time
         total += overhead
+        if observing:
+            tracer.add_span(
+                "run_overhead",
+                tile_time_total,
+                total,
+                track=PIPELINE_TRACK,
+                attrs={
+                    "sense_fill": self.config.flash.read_latency,
+                    "pipeline_fill": fill,
+                    "host_time": host_time,
+                },
+            )
+            logger.info(
+                "pipeline %s: %d tiles in %.6fs (steady %.6fs, overhead %.6fs)",
+                self.features.label, count, total, tile_time_total, overhead,
+            )
         return RunResult(
             features=self.features,
             total_time=total,

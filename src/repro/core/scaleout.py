@@ -18,6 +18,7 @@ merges the per-device top-k lists.  The paper sizes a 500M-category layer at
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -25,7 +26,10 @@ import numpy as np
 
 from ..config import ECSSDConfig
 from ..errors import CapacityError, ConfigurationError
+from ..obs import CLUSTER_TRACK, get_registry, get_tracer
 from ..units import GiB
+
+logger = logging.getLogger(__name__)
 from ..workloads.benchmarks import BenchmarkSpec
 from ..workloads.traces import CandidateTraceGenerator, LabelHotnessModel
 from .ecssd import ECSSDevice, PerformanceReport
@@ -152,24 +156,61 @@ class ScaleOutCluster:
         seed: int = 3,
     ) -> ClusterReport:
         """Trace-driven timing of one batch across every shard."""
+        tracer = get_tracer()
         reports: List[PerformanceReport] = []
-        for shard, device in zip(self.shards, self.devices):
-            hotness = LabelHotnessModel(
-                num_labels=shard.num_labels,
-                seed=seed + shard.device_index,
-            )
-            generator = CandidateTraceGenerator(
-                hotness,
-                candidate_ratio=self.spec.candidate_ratio,
-                query_noise=0.05,
-            )
-            reports.append(
-                device.run_trace(generator, queries=queries, sample_tiles=sample_tiles)
-            )
+        with tracer.span(
+            "cluster_run", devices=len(self.devices), queries=queries
+        ):
+            for shard, device in zip(self.shards, self.devices):
+                hotness = LabelHotnessModel(
+                    num_labels=shard.num_labels,
+                    seed=seed + shard.device_index,
+                )
+                generator = CandidateTraceGenerator(
+                    hotness,
+                    candidate_ratio=self.spec.candidate_ratio,
+                    query_noise=0.05,
+                )
+                with tracer.span(
+                    f"shard{shard.device_index}",
+                    labels=shard.num_labels,
+                ) as span:
+                    report = device.run_trace(
+                        generator, queries=queries, sample_tiles=sample_tiles
+                    )
+                    span.set_sim_window(0.0, report.scaled_total_time)
+                # Shards run in parallel on independent devices: overlay
+                # their simulated windows on one cluster track.
+                if tracer.enabled:
+                    tracer.add_span(
+                        f"shard{shard.device_index}",
+                        0.0,
+                        report.scaled_total_time,
+                        track=CLUSTER_TRACK,
+                        attrs={"labels": shard.num_labels},
+                    )
+                reports.append(report)
         # Host merge: each device returns top_k (label, score) pairs per
         # query (12 B each); merging is bandwidth-trivial but accounted.
         merge_bytes = queries * top_k * 12 * len(self.devices)
         merge_time = merge_bytes / self.host_merge_bandwidth
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ecssd_cluster_runs_total", "scale-out inference passes"
+            ).inc()
+            registry.gauge(
+                "ecssd_cluster_devices", "devices in the active cluster"
+            ).set(len(self.devices))
+        slowest = max(r.scaled_total_time for r in reports)
+        if tracer.enabled:
+            tracer.add_span(
+                "merge", slowest, slowest + merge_time, track=CLUSTER_TRACK
+            )
+        logger.info(
+            "cluster: %d shards, slowest %.6fs, merge %.6fs",
+            len(reports), slowest, merge_time,
+        )
         return ClusterReport(shard_reports=reports, merge_time=merge_time)
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import logging
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,6 +36,8 @@ import numpy as np
 
 from ..errors import WorkloadError
 from .placement import InterleavingStrategy
+
+logger = logging.getLogger(__name__)
 
 
 class HotGrade(enum.IntEnum):
@@ -107,6 +110,10 @@ class HotnessPredictor:
         empirical = frequency / freq_total if freq_total > 0 else prior
         self.scores = (1.0 - weight) * prior + weight * empirical
         self._fine_tuned = True
+        logger.debug(
+            "fine-tuned hotness predictor on %d observations (blend %.2f)",
+            observations, weight,
+        )
 
     @property
     def is_fine_tuned(self) -> bool:

@@ -21,12 +21,15 @@ Channel assignment itself is delegated to an :class:`InterleavingStrategy`
 from __future__ import annotations
 
 import abc
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..errors import ConfigurationError, WorkloadError
+
+logger = logging.getLogger(__name__)
 
 
 class InterleavingStrategy(abc.ABC):
@@ -191,6 +194,11 @@ def build_placement(
     for channel in range(num_channels):
         members = np.flatnonzero(channel_of == channel)
         slot_of[members] = np.arange(len(members))
+    logger.debug(
+        "placement %s: %d vectors over %d channels (max/channel %d)",
+        strategy.name, num_vectors, num_channels,
+        int(np.bincount(channel_of, minlength=num_channels).max()),
+    )
     return WeightPlacement(
         num_vectors=num_vectors,
         num_channels=num_channels,

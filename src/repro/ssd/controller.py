@@ -11,12 +11,16 @@ tile is the makespan of the commands queued on it.
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from ..errors import SimulationError
+from ..obs import get_registry
 from .channel import Channel
 from .geometry import FlashGeometry, PhysicalAddress
+
+logger = logging.getLogger(__name__)
 
 
 class CommandKind(enum.Enum):
@@ -71,6 +75,8 @@ class FlashController:
 
     def submit(self, now: float, commands: Iterable[FlashCommand]) -> BatchResult:
         """Issue ``commands`` starting at ``now``; returns batch timing."""
+        registry = get_registry()
+        kind_counts: Dict[CommandKind, int] = {} if registry.enabled else None
         start = now
         finish = now
         issue_time = now
@@ -89,7 +95,22 @@ class FlashController:
                 raise SimulationError(f"unknown command kind {command.kind!r}")
             finish = max(finish, end)
             count += 1
+            if kind_counts is not None:
+                kind_counts[command.kind] = kind_counts.get(command.kind, 0) + 1
         self.commands_issued += count
+        if kind_counts:
+            counter = registry.counter(
+                "flash_commands_total",
+                "flash commands issued by the event simulator",
+            )
+            for kind, kind_count in kind_counts.items():
+                counter.inc(
+                    kind_count, channel=self.channel.index, kind=kind.value
+                )
+            logger.debug(
+                "channel %d: %d commands in [%.6f, %.6f]",
+                self.channel.index, count, start, finish,
+            )
         return BatchResult(
             channel=self.channel.index, commands=count, start=start, finish=finish
         )

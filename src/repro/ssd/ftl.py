@@ -27,12 +27,16 @@ the written footprint rather than the raw geometry.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config import FlashConfig
 from ..errors import AddressError, CapacityError, SimulationError
+from ..obs import get_registry, get_tracer
 from .geometry import FlashGeometry, PhysicalAddress
+
+logger = logging.getLogger(__name__)
 
 # A plane is identified by (channel, package, die, plane).
 PlaneKey = Tuple[int, int, int, int]
@@ -167,6 +171,11 @@ class FlashTranslationLayer:
         self._l2p[logical_page] = flat
         self._p2l[flat] = logical_page
         self.pages_written += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ftl_pages_written_total", "pages programmed through the FTL"
+            ).inc(channel=channel)
         return address
 
     def lookup(self, logical_page: int) -> PhysicalAddress:
@@ -297,6 +306,31 @@ class FlashTranslationLayer:
         self.pages_relocated += relocated
         self.gc_events.append(
             GcEvent(plane=plane_key, victim_block=victim.block, relocated_pages=relocated)
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "ftl_gc_total", "garbage-collection invocations"
+            ).inc(channel=plane_key[0])
+            registry.counter(
+                "ftl_pages_relocated_total", "valid pages moved by GC"
+            ).inc(relocated, channel=plane_key[0])
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The FTL has no simulated clock of its own: GC shows up as a
+            # wall-time instant event tagged with its plane and cost.
+            tracer.instant(
+                "gc",
+                attrs={
+                    "plane": list(plane_key),
+                    "victim_block": victim.block,
+                    "relocated_pages": relocated,
+                    "erase_count": victim.erase_count,
+                },
+            )
+        logger.debug(
+            "gc: plane %s victim block %d relocated %d pages",
+            plane_key, victim.block, relocated,
         )
 
     def _pick_victim(self, plane_key: PlaneKey) -> Optional[BlockState]:

@@ -18,10 +18,14 @@ documented in DESIGN.md §6.
 from __future__ import annotations
 
 import enum
+import logging
 from collections import defaultdict
 from typing import Dict, Iterable, List
 
+from ..obs import get_registry
 from .controller import BatchResult, FlashCommand, FlashController
+
+logger = logging.getLogger(__name__)
 
 
 class SchedulingPolicy(enum.Enum):
@@ -82,7 +86,21 @@ class ScheduledController:
                 for index, command in enumerate(batch)
             }
             batch = reorder_round_robin(batch, die_of)
-        return self.controller.submit(now, batch)
+        result = self.controller.submit(now, batch)
+        registry = get_registry()
+        if registry.enabled and batch:
+            registry.counter(
+                "flash_sched_batches_total", "scheduled channel batches, by policy"
+            ).inc(policy=self.policy.value, channel=result.channel)
+            registry.histogram(
+                "flash_sched_batch_makespan_seconds",
+                "per-batch channel makespan under the active policy",
+            ).observe(result.makespan, policy=self.policy.value)
+            logger.debug(
+                "policy %s: %d commands on channel %d, makespan %.6fs",
+                self.policy.value, len(batch), result.channel, result.makespan,
+            )
+        return result
 
     @property
     def channel(self):

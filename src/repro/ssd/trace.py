@@ -11,7 +11,7 @@ instead of inferring them from aggregate counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .controller import BatchResult, CommandKind, FlashCommand, FlashController
@@ -91,6 +91,73 @@ class CommandTrace:
             depth += delta
             peak = max(peak, depth)
         return peak
+
+    def queue_depth_timeline(self) -> List[Tuple[float, int]]:
+        """(time, in-flight depth) step function over the trace window.
+
+        Each entry is the depth *after* the change at that time; submits and
+        finishes at the same instant net out before the point is recorded.
+        """
+        points: List[Tuple[float, int]] = []
+        for event in self.events:
+            points.append((event.submit_time, 1))
+            points.append((event.finish_time, -1))
+        points.sort(key=lambda p: (p[0], p[1]))
+        timeline: List[Tuple[float, int]] = []
+        depth = 0
+        for time, delta in points:
+            depth += delta
+            if timeline and timeline[-1][0] == time:
+                timeline[-1] = (time, depth)
+            else:
+                timeline.append((time, depth))
+        return timeline
+
+    def queue_depth_percentile(self, p: float) -> float:
+        """Time-weighted ``p``-th percentile (0-100) of the in-flight depth.
+
+        Weighted by how long each depth level persisted, so a brief burst to
+        depth 50 does not dominate a trace that idles at depth 2.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise SimulationError("percentile must be in [0, 100]")
+        timeline = self.queue_depth_timeline()
+        if not timeline:
+            raise SimulationError("queue depth percentile of an empty trace")
+        weighted: Dict[int, float] = {}
+        for (time, depth), (next_time, _next) in zip(timeline, timeline[1:]):
+            duration = next_time - time
+            if duration > 0:
+                weighted[depth] = weighted.get(depth, 0.0) + duration
+        if not weighted:  # all events instantaneous: fall back to peak
+            return float(self.max_queue_depth())
+        total = sum(weighted.values())
+        rank = p / 100.0 * total
+        cumulative = 0.0
+        for depth in sorted(weighted):
+            cumulative += weighted[depth]
+            if cumulative >= rank:
+                return float(depth)
+        return float(max(weighted))
+
+    def queue_depth_summary(self) -> Dict[str, float]:
+        """The p50/p95/p99 depth summary, mirroring the metrics registry."""
+        return {
+            "p50": self.queue_depth_percentile(50.0),
+            "p95": self.queue_depth_percentile(95.0),
+            "p99": self.queue_depth_percentile(99.0),
+        }
+
+    def to_chrome_events(self) -> List[dict]:
+        """This trace as Chrome trace-event dicts (one per command).
+
+        Delegates to :func:`repro.obs.export.command_trace_events`, the
+        single TraceEvent-to-Chrome conversion path shared with
+        :meth:`repro.obs.tracing.Tracer.add_command_trace`.
+        """
+        from ..obs.export import command_trace_events
+
+        return command_trace_events(self.events)
 
     def busy_fraction(self, channel: int) -> float:
         """Fraction of the trace window this channel had work in flight."""
