@@ -25,6 +25,7 @@ tensors never depend on subnormals); infinities/NaNs are rejected.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -37,7 +38,9 @@ BIAS = 127
 STORED_MANTISSA_BITS = 1 + MANTISSA_BITS + COMPENSATION_BITS  # 31
 
 
-def _decompose(values: np.ndarray):
+def _decompose(
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Split float32 array into (sign, biased exponent, 24-bit mantissa).
 
     Subnormals flush to zero.  Returns int32 arrays.

@@ -11,7 +11,9 @@ Gives the reproduction a front door that requires no Python:
 * ``python -m repro trace`` — run an instrumented inference and export a
   Chrome/Perfetto trace, Prometheus metrics, and JSON-lines telemetry;
 * ``python -m repro validate`` — cross-check the analytic and event timing
-  backends.
+  backends;
+* ``python -m repro lint`` — run the reprolint determinism checks
+  (``python -m repro.lint`` is the standalone equivalent).
 
 ``-v``/``-vv`` (before or after the subcommand) raise the logging level of
 the ``repro`` logger tree to INFO/DEBUG.
@@ -274,6 +276,12 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run
+
+    return run(args)
+
+
 def _add_verbose(parser: argparse.ArgumentParser, dest: str = "verbose") -> None:
     parser.add_argument(
         "-v",
@@ -349,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="cross-check analytic vs event backends"
     )
     _add_verbose(validate)
+
+    from .lint.cli import configure_parser as configure_lint_parser
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint determinism static-analysis suite"
+    )
+    configure_lint_parser(lint)
+    _add_verbose(lint)
     return parser
 
 
@@ -365,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "validate": _cmd_validate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,39 @@
+"""reprolint — simulator-aware static analysis for the ECSSD reproduction.
+
+The discrete-event simulator's value rests on bit-for-bit determinism
+(``repro.ssd.events`` promises insertion-order tie-breaking and run-to-run
+reproducibility).  This package mechanically enforces the bug classes that
+quietly break that promise: wall-clock reads, unseeded RNG, float-equality on
+simulated time, unit-less duration literals, late-binding closures in
+scheduled callbacks, hash-ordered set iteration, and blanket exception
+handlers.  See DESIGN.md's "Determinism contract" for the rule-by-rule
+rationale.
+
+Usage::
+
+    python -m repro.lint src/repro          # standalone
+    python -m repro lint src/repro          # via the repro CLI
+    # reprolint: disable=<rule>             # inline suppression
+    reprolint-baseline.json                 # justified grandfathered findings
+"""
+
+from .baseline import Baseline, BaselineEntry, BaselineError, discover_baseline
+from .engine import FileContext, LintEngine, Rule, module_name_for
+from .findings import Finding, Severity
+from .rules import RULE_CLASSES, default_rules, rules_by_name
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "RULE_CLASSES",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "discover_baseline",
+    "module_name_for",
+    "rules_by_name",
+]

@@ -1,0 +1,170 @@
+"""Command line for reprolint: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes: 0 — clean (modulo baseline); 1 — new findings (or stale/invalid
+baseline); 2 — usage error.  Both entry points share :func:`configure_parser`
+so the flags stay identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline, BaselineError, discover_baseline
+from .engine import LintEngine
+from .rules import default_rules, rules_by_name
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach reprolint arguments to ``parser`` (shared by both front ends)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of grandfathered findings "
+        "(default: discover reprolint-baseline.json near the targets)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0 "
+        "(justifications start as TODO and must be filled in)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its scope and rationale, then exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in default_rules():
+        scope = ", ".join(rule.packages) if rule.packages else "all packages"
+        exempt = (
+            f" (exempt: {', '.join(rule.exempt_packages)})"
+            if rule.exempt_packages
+            else ""
+        )
+        print(f"{rule.name} [{rule.severity.label}] — {rule.description}")
+        print(f"    scope: {scope}{exempt}")
+        print(f"    why: {rule.rationale}")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed reprolint invocation."""
+    if args.list_rules:
+        return _list_rules()
+
+    if args.select:
+        registry = rules_by_name()
+        unknown = [name for name in args.select if name not in registry]
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(registry))}",
+                file=sys.stderr,
+            )
+            return 2
+        engine = LintEngine([registry[name]() for name in args.select])
+    else:
+        engine = LintEngine()
+
+    findings = engine.lint_paths(args.paths)
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        else:
+            baseline_path = discover_baseline(args.paths)
+
+    if args.write_baseline:
+        target = baseline_path or Path("reprolint-baseline.json")
+        Baseline.from_findings(findings).save(target)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        if findings:
+            print("fill in each entry's justification before committing")
+        return 0
+
+    baseline = Baseline(entries=[])
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+
+    new, grandfathered = baseline.split(findings)
+    stale = baseline.unused_entries(findings)
+
+    if args.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "new": [f.to_json() for f in new],
+                    "grandfathered": [f.to_json() for f in grandfathered],
+                    "stale_baseline_entries": [e.to_json() for e in stale],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format())
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry.rule} at {entry.path} "
+                f"(no longer reported — remove it)",
+                file=sys.stderr,
+            )
+        summary = f"{len(new)} new finding(s)"
+        if grandfathered:
+            summary += f", {len(grandfathered)} grandfathered"
+        if stale:
+            summary += f", {len(stale)} stale baseline entrie(s)"
+        print(summary)
+
+    return 1 if (new or stale) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simulator-aware static analysis for the ECSSD reproduction",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""The reprolint rule engine: AST parsing, suppressions, and file walking.
+
+The engine owns everything rule-agnostic:
+
+* parsing a file into an :class:`ast.Module` and a :class:`FileContext`
+  (source lines, dotted module name, suppression table);
+* running every registered :class:`Rule` whose scope matches the file;
+* honoring inline ``# reprolint: disable=<rule>[,<rule>...]`` suppressions —
+  a trailing comment suppresses its own line, a standalone comment line
+  suppresses the following line, and ``disable=all`` suppresses every rule;
+* walking directory trees in sorted order so output is deterministic.
+
+Rules live in :mod:`repro.lint.rules`; baseline matching in
+:mod:`repro.lint.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from .findings import Finding, Severity
+
+#: Sentinel for "derive the module name from the path".
+_DERIVE = "<derive>"
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+
+def module_name_for(path: Union[str, Path]) -> Optional[str]:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    ``src/repro/ssd/events.py`` -> ``repro.ssd.events``; files outside a
+    ``repro`` directory have no known module (``None``), which scoped rules
+    treat as sim-path so fixture snippets exercise every rule.
+    """
+    parts = Path(path).with_suffix("").parts
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    module = ".".join(parts[anchor:])
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    return module
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule names disabled on that line.
+
+    Uses :mod:`tokenize` so directives inside string literals are ignored.
+    A standalone comment line applies to the next line as well as its own.
+    """
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            line = tok.start[0]
+            disabled.setdefault(line, set()).update(rules)
+            standalone = not tok.line[: tok.start[1]].strip()
+            if standalone:
+                disabled.setdefault(line + 1, set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - truncated source
+        pass
+    return disabled
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one file under analysis."""
+
+    path: str
+    module: Optional[str]
+    tree: ast.Module
+    source_lines: List[str] = field(default_factory=list)
+    disabled: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def module_in(self, packages: Sequence[str]) -> bool:
+        """True when this file's module is inside any of ``packages``.
+
+        Unknown modules (files outside a ``repro`` tree, e.g. test fixtures)
+        are *not* considered inside any package.
+        """
+        if self.module is None:
+            return False
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    def exempt(self, rule: "Rule") -> bool:
+        """True when this file sits in one of ``rule``'s allowlisted packages."""
+        return bool(rule.exempt_packages) and self.module_in(rule.exempt_packages)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.disabled.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``name``/``severity``/``description``/``rationale`` and
+    implement :meth:`check`.  ``packages`` scopes a rule to dotted package
+    prefixes (empty tuple = everywhere); ``exempt_packages`` carves out an
+    allowlist.  Files whose module cannot be determined (fixtures, ad-hoc
+    scripts) get every rule.
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    rationale: str = ""
+    packages: Sequence[str] = ()
+    exempt_packages: Sequence[str] = ()
+
+    def applies_to(self, context: FileContext) -> bool:
+        if context.exempt(self):
+            return False
+        if not self.packages:
+            return True
+        return context.module is None or context.module_in(self.packages)
+
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        context: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.name,
+            path=context.path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            code=context.line_text(line),
+        )
+
+
+class LintEngine:
+    """Runs a set of rules over sources, files, and directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules: List[Rule] = list(rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        module: Optional[str] = _DERIVE,
+    ) -> List[Finding]:
+        """Lint a source string.
+
+        ``module`` overrides the dotted module name used for rule scoping;
+        tests use this to present fixture snippets as sim-path modules.
+        """
+        if module == _DERIVE:
+            module = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule="parse-error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"could not parse: {exc.msg}",
+                )
+            ]
+        context = FileContext(
+            path=path,
+            module=module,
+            tree=tree,
+            source_lines=source.splitlines(),
+            disabled=scan_suppressions(source),
+        )
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(context):
+                continue
+            for finding in rule.check(context):
+                if not context.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def lint_file(self, path: Union[str, Path]) -> List[Finding]:
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, path=str(path))
+
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(iter_python_files(paths)):
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            for child in sorted(p.rglob("*.py")):
+                if "__pycache__" not in child.parts:
+                    yield child
+        elif p.suffix == ".py" or p.is_file():
+            yield p

@@ -1,0 +1,58 @@
+"""Finding and severity primitives shared by the reprolint engine and rules.
+
+A :class:`Finding` is one diagnostic anchored to a file/line/column.  It also
+carries ``code`` — the stripped source line it fired on — which the baseline
+uses as a drift-tolerant fingerprint: a grandfathered finding keeps matching
+after unrelated edits move it to a different line number.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Any severity fails the lint run; the level is
+    informational so downstream tooling can triage."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    code: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.severity.label}: "
+            f"{self.message} [{self.rule}]"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.label,
+            "message": self.message,
+            "code": self.code,
+        }
+
+    def with_path(self, path: str) -> "Finding":
+        return replace(self, path=path)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import logging
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from ..errors import SimulationError
 from ..obs import get_registry
@@ -76,7 +76,9 @@ class FlashController:
     def submit(self, now: float, commands: Iterable[FlashCommand]) -> BatchResult:
         """Issue ``commands`` starting at ``now``; returns batch timing."""
         registry = get_registry()
-        kind_counts: Dict[CommandKind, int] = {} if registry.enabled else None
+        kind_counts: Optional[Dict[CommandKind, int]] = (
+            {} if registry.enabled else None
+        )
         start = now
         finish = now
         issue_time = now

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -30,6 +31,8 @@ class EventQueue:
         self._counter = itertools.count()
 
     def push(self, time: float, callback: EventCallback) -> None:
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at non-finite time {time}")
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
         heapq.heappush(self._heap, (time, next(self._counter), callback))

@@ -20,10 +20,13 @@ from __future__ import annotations
 import enum
 import logging
 from collections import defaultdict
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List
 
 from ..obs import get_registry
 from .controller import BatchResult, FlashCommand, FlashController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .channel import Channel
 
 logger = logging.getLogger(__name__)
 
@@ -103,12 +106,13 @@ class ScheduledController:
         return result
 
     @property
-    def channel(self):
+    def channel(self) -> "Channel":
         return self.controller.channel
 
 
 def compare_policies(
-    make_controller, commands: List[FlashCommand]
+    make_controller: Callable[[], FlashController],
+    commands: List[FlashCommand],
 ) -> Dict[str, float]:
     """Makespan of the same batch under each policy (fresh controllers).
 

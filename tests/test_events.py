@@ -37,6 +37,21 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             EventQueue().push(-1.0, lambda: None)
 
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf"), float("nan")])
+    def test_rejects_non_finite_time(self, bad):
+        with pytest.raises(SimulationError, match="non-finite"):
+            EventQueue().push(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_simulator_rejects_non_finite_schedule(self, bad):
+        # NaN slips past the `delay < 0` guard (every comparison with NaN is
+        # False); the queue-level finiteness check must still catch it.
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(bad, lambda: None)
+
     def test_len(self):
         q = EventQueue()
         q.push(1.0, lambda: None)

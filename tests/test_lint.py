@@ -1,0 +1,388 @@
+"""Tests for the reprolint static-analysis suite (repro.lint).
+
+Every rule gets a good/bad fixture pair: the bad snippet must produce exactly
+the expected finding, the good snippet none.  A final test runs the engine
+over the shipped ``src/repro`` tree and requires it to be clean modulo the
+checked-in baseline (and the baseline to be free of stale entries).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import (
+    Baseline,
+    BaselineError,
+    LintEngine,
+    default_rules,
+    module_name_for,
+    rules_by_name,
+)
+from repro.lint.baseline import BaselineEntry
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SIM_MODULE = "repro.ssd.fixture"
+
+
+def findings_for(source, module=SIM_MODULE):
+    return LintEngine().lint_source(source, path="fixture.py", module=module)
+
+
+# One (bad, expected_line, good) fixture pair per rule.  Bad snippets are
+# written so no *other* rule fires on them.
+RULE_FIXTURES = {
+    "no-wall-clock": (
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n",
+        4,
+        "def stamp(sim):\n"
+        "    return sim.now\n",
+    ),
+    "seeded-rng-only": (
+        "import numpy as np\n"
+        "\n"
+        "def draw():\n"
+        "    return np.random.rand(4)\n",
+        4,
+        "import numpy as np\n"
+        "\n"
+        "def draw(seed):\n"
+        "    rng = np.random.default_rng((seed, 0xEC55D, 0))\n"
+        "    return rng.random(4)\n",
+    ),
+    "sim-time-no-float-eq": (
+        "def ready(sim):\n"
+        "    return sim.now == 1.5\n",
+        2,
+        "def ready(sim):\n"
+        "    return sim.now >= 1.5\n",
+    ),
+    "raw-duration-literal": (
+        "def kick(sim, cb):\n"
+        "    sim.schedule(1.5, cb)\n",
+        2,
+        "from repro.units import us\n"
+        "\n"
+        "def kick(sim, cb):\n"
+        "    sim.schedule(us(1.5), cb)\n",
+    ),
+    "closure-capture-in-schedule": (
+        "def fan_out(sim, items, delay, handle):\n"
+        "    for item in items:\n"
+        "        sim.schedule(delay, lambda: handle(item))\n",
+        3,
+        "def fan_out(sim, items, delay, handle):\n"
+        "    for item in items:\n"
+        "        sim.schedule(delay, lambda item=item: handle(item))\n",
+    ),
+    "unordered-iteration": (
+        "def spread(channels):\n"
+        "    for ch in set(channels):\n"
+        "        yield ch\n",
+        2,
+        "def spread(channels):\n"
+        "    for ch in sorted(set(channels)):\n"
+        "        yield ch\n",
+    ),
+    "exception-hygiene": (
+        "def guard(fn):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        4,
+        "from repro.errors import SimulationError\n"
+        "\n"
+        "def guard(fn):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except SimulationError:\n"
+        "        return None\n",
+    ),
+}
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_bad_snippet_produces_exactly_the_expected_finding(self, rule):
+        bad, line, _good = RULE_FIXTURES[rule]
+        findings = findings_for(bad)
+        assert len(findings) == 1, [f.format() for f in findings]
+        assert findings[0].rule == rule
+        assert findings[0].line == line
+        assert findings[0].severity.label in ("warning", "error")
+        assert findings[0].code  # fingerprint captured for the baseline
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_good_snippet_is_clean(self, rule):
+        _bad, _line, good = RULE_FIXTURES[rule]
+        assert findings_for(good) == []
+
+    def test_registry_covers_at_least_seven_rules(self):
+        assert len(default_rules()) >= 7
+        assert set(RULE_FIXTURES) == set(rules_by_name())
+
+
+class TestRuleDetails:
+    def test_wall_clock_from_import_is_caught(self):
+        src = "from time import perf_counter\n\nt = perf_counter()\n"
+        rules = {f.rule for f in findings_for(src)}
+        assert rules == {"no-wall-clock"}
+
+    def test_wall_clock_allowed_in_obs(self):
+        src = "import time\n\ndef wall():\n    return time.perf_counter()\n"
+        assert findings_for(src, module="repro.obs.tracing") == []
+
+    def test_argless_default_rng_flagged_seeded_ok(self):
+        bad = "import numpy as np\nrng = np.random.default_rng()\n"
+        good = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert [f.rule for f in findings_for(bad)] == ["seeded-rng-only"]
+        assert findings_for(good) == []
+
+    def test_stdlib_random_flagged(self):
+        src = "import random\n\ndef roll():\n    return random.random()\n"
+        assert [f.rule for f in findings_for(src)] == ["seeded-rng-only"]
+
+    def test_float_eq_literal_on_left_and_not_eq(self):
+        src = "def f(sim):\n    return 2.5 != sim.now\n"
+        assert [f.rule for f in findings_for(src)] == ["sim-time-no-float-eq"]
+
+    def test_integer_zero_duration_allowed(self):
+        src = "def f(sim, cb):\n    sim.schedule(0.0, cb)\n    sim.schedule(0, cb)\n"
+        assert findings_for(src) == []
+
+    def test_inner_def_capturing_loop_var_flagged(self):
+        src = (
+            "def fan_out(sim, items, delay, handle):\n"
+            "    for item in items:\n"
+            "        def cb():\n"
+            "            handle(item)\n"
+            "        sim.schedule(delay, cb)\n"
+        )
+        findings = findings_for(src)
+        assert [f.rule for f in findings] == ["closure-capture-in-schedule"]
+        assert "item" in findings[0].message
+
+    def test_set_assigned_then_iterated_flagged(self):
+        src = (
+            "def f(xs):\n"
+            "    pending = set(xs)\n"
+            "    return [x for x in pending]\n"
+        )
+        assert [f.rule for f in findings_for(src)] == ["unordered-iteration"]
+
+    def test_unordered_iteration_scoped_to_ssd_and_layout(self):
+        src = "def f(xs):\n    for x in set(xs):\n        yield x\n"
+        assert findings_for(src, module="repro.workloads.fixture") == []
+        assert len(findings_for(src, module="repro.layout.fixture")) == 1
+
+    def test_bare_except_flagged(self):
+        src = "def f(fn):\n    try:\n        fn()\n    except:\n        raise\n"
+        assert [f.rule for f in findings_for(src)] == ["exception-hygiene"]
+
+    def test_exception_hygiene_scoped_to_ssd_and_core(self):
+        src = "def f(fn):\n    try:\n        fn()\n    except Exception:\n        pass\n"
+        assert findings_for(src, module="repro.analysis.fixture") == []
+
+
+class TestEngineMechanics:
+    def test_inline_suppression(self):
+        src = (
+            "import time\n"
+            "t = time.perf_counter()  # reprolint: disable=no-wall-clock\n"
+        )
+        assert findings_for(src) == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        src = (
+            "import time\n"
+            "# reprolint: disable=no-wall-clock\n"
+            "t = time.perf_counter()\n"
+        )
+        assert findings_for(src) == []
+
+    def test_disable_all(self):
+        src = "import time\nt = time.perf_counter()  # reprolint: disable=all\n"
+        assert findings_for(src) == []
+
+    def test_suppressing_a_different_rule_does_not_hide(self):
+        src = (
+            "import time\n"
+            "t = time.perf_counter()  # reprolint: disable=unordered-iteration\n"
+        )
+        assert len(findings_for(src)) == 1
+
+    def test_directive_inside_string_is_ignored(self):
+        src = (
+            "import time\n"
+            'note = "# reprolint: disable=all"\n'
+            "t = time.perf_counter()\n"
+        )
+        assert len(findings_for(src)) == 1
+
+    def test_parse_error_reported_as_finding(self):
+        findings = findings_for("def broken(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/ssd/events.py") == "repro.ssd.events"
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+        assert module_name_for("/tmp/fixture.py") is None
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        (tmp_path / "b.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        engine = LintEngine()
+        first = engine.lint_paths([tmp_path])
+        second = engine.lint_paths([tmp_path])
+        assert first == second
+        assert [Path(f.path).name for f in first] == ["a.py", "b.py"]
+
+
+class TestBaseline:
+    def test_entry_requires_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "no-wall-clock", "path": "x.py", "line": 1}],
+        }))
+        with pytest.raises(BaselineError, match="justification"):
+            Baseline.load(path)
+
+    def test_split_matches_on_code_fingerprint_despite_line_drift(self):
+        bad, line, _ = RULE_FIXTURES["no-wall-clock"]
+        [finding] = findings_for(bad)
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path="fixture.py",
+            justification="kept deliberately for this test",
+            code=finding.code,
+            line=line + 40,  # stale line number; code text still matches
+        )
+        baseline = Baseline(entries=[entry])
+        new, grandfathered = baseline.split([finding])
+        assert new == [] and grandfathered == [finding]
+        assert baseline.unused_entries([finding]) == []
+
+    def test_unused_entries_detected(self):
+        entry = BaselineEntry(
+            rule="no-wall-clock",
+            path="gone.py",
+            justification="kept deliberately for this test",
+            code="t = time.time()",
+        )
+        assert Baseline(entries=[entry]).unused_entries([]) == [entry]
+
+    def test_shipped_baseline_entries_are_all_justified(self):
+        baseline = Baseline.load(REPO_ROOT / "reprolint-baseline.json")
+        for entry in baseline.entries:
+            assert len(entry.justification) > 10
+            assert "TODO" not in entry.justification
+
+
+class TestCommandLine:
+    def _write_bad_tree(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        return bad
+
+    def test_exit_nonzero_on_finding(self, tmp_path, capsys):
+        self._write_bad_tree(tmp_path)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "no-wall-clock" in out and "1 new finding" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        self._write_bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        # TODO justifications are rejected at load time: grandfathering a
+        # finding without saying why fails the run.
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        payload = json.loads(baseline.read_text())
+        for entry in payload["entries"]:
+            entry["justification"] = "kept: exercised by test"
+        baseline.write_text(json.dumps(payload))
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "no-wall-clock",
+                "path": "gone.py",
+                "code": "t = time.time()",
+                "justification": "kept: exercised by test",
+            }],
+        }))
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "nope"]) == 2
+
+    def test_select_limits_rules(self, tmp_path):
+        self._write_bad_tree(tmp_path)
+        args = [str(tmp_path), "--no-baseline", "--select", "unordered-iteration"]
+        assert lint_main(args) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULE_FIXTURES:
+            assert rule in out
+
+    def test_json_format(self, tmp_path, capsys):
+        self._write_bad_tree(tmp_path)
+        assert lint_main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["new"][0]["rule"] == "no-wall-clock"
+
+    def test_repro_cli_lint_subcommand(self, tmp_path, capsys):
+        self._write_bad_tree(tmp_path)
+        assert repro_main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        (tmp_path / "bad.py").unlink()
+        (tmp_path / "ok.py").write_text("def f(sim):\n    return sim.now\n")
+        assert repro_main(["lint", str(tmp_path), "--no-baseline"]) == 0
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        self._write_bad_tree(tmp_path)
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path), "--no-baseline"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        assert proc.returncode == 1
+        assert "no-wall-clock" in proc.stdout
+
+
+class TestShippedTree:
+    def test_src_repro_is_clean_modulo_baseline(self):
+        engine = LintEngine()
+        findings = engine.lint_paths([REPO_ROOT / "src" / "repro"])
+        baseline = Baseline.load(REPO_ROOT / "reprolint-baseline.json")
+        new, _grandfathered = baseline.split(findings)
+        assert new == [], [f.format() for f in new]
+        stale = baseline.unused_entries(findings)
+        assert stale == [], [e.to_json() for e in stale]
