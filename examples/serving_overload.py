@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Serving under overload: what users see when load exceeds capacity.
+
+The paper's timing models price one batch; `repro.serve` stacks admission
+control, deadline batching at the roofline knee, hotness-weighted replica
+routing, and a graceful-degradation ladder on top of them.  This example
+sweeps offered load from half the saturating rate to 4x it and shows the
+trade the layer makes: past saturation it degrades fidelity first, then
+sheds *explicitly* — and the p99 of admitted requests never leaves the SLO.
+
+Run:  python examples/serving_overload.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.serve import (
+    AffineServiceModel,
+    ServingConfig,
+    build_serving_stack,
+    saturating_rate,
+)
+from repro.workloads.streams import poisson_arrivals
+
+SLO_S = 0.02  # 20 ms latency budget
+
+
+def main() -> None:
+    # A knee-8 affine service model (0.2 ms setup + 0.1 ms/query); swap in
+    # AffineServiceModel.from_batch_points(BatchingAnalyzer(...).sweep(...))
+    # to calibrate from a real Table 3 benchmark like the CLI does.
+    service = AffineServiceModel(
+        base=2e-4, per_query=1e-4, knee=8, candidate_fraction=0.7
+    )
+    config = ServingConfig(slo=SLO_S, shards=2, replicas=2)
+    capacity = saturating_rate(service, config)
+    print(f"=== Serving layer: 2 shards x 2 replicas, SLO {SLO_S * 1e3:.0f} ms,"
+          f" saturates at {capacity:,.0f} q/s ===\n")
+
+    rows = []
+    for multiplier in (0.5, 1.0, 2.0, 4.0):
+        simulator = build_serving_stack(service, config)
+        rate = multiplier * capacity
+        arrivals = poisson_arrivals(rate, num_queries=2000, seed=0)
+        report = simulator.run(arrivals)
+        rows.append([
+            f"{multiplier:.1f}x",
+            f"{rate:,.0f}",
+            f"{report.goodput:,.0f}",
+            f"{report.shed_rate:.1%}",
+            f"{report.p50 * 1e3:.2f} ms",
+            f"{report.p99 * 1e3:.2f} ms",
+            f"{report.max_degrade_level}",
+        ])
+    print(render_table(
+        ["load", "offered q/s", "goodput q/s", "shed", "p50", "p99", "degrade"],
+        rows,
+    ))
+    print(
+        "\nBelow saturation nothing is shed and the ladder stays at full"
+        " fidelity.  Past it, queue pressure first walks the degradation"
+        "\nladder (smaller candidate budget -> faster batches), then the"
+        " SLO-derived depth bound sheds the excess explicitly — so the p99"
+        "\nof *admitted* requests stays inside the SLO instead of the whole"
+        " queue collapsing.  Same seed, same numbers, every run."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,9 @@ Gives the reproduction a front door that requires no Python:
   Chrome/Perfetto trace, Prometheus metrics, and JSON-lines telemetry;
 * ``python -m repro validate`` — cross-check the analytic and event timing
   backends;
+* ``python -m repro serve`` — replay a Poisson arrival stream through the
+  SLO-aware serving layer (admission, deadline batching, degradation,
+  replica routing) and print goodput / shed rate / latency percentiles;
 * ``python -m repro lint`` — run the reprolint determinism checks
   (``python -m repro.lint`` is the standalone equivalent).
 
@@ -276,6 +279,99 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Replay an arrival stream through the deterministic serving layer."""
+    import json
+
+    from .analysis.reporting import format_seconds, render_table
+    from .core.batching import BatchingAnalyzer
+    from .serve import (
+        AffineServiceModel,
+        ServingConfig,
+        build_serving_stack,
+        saturating_rate,
+        shard_hot_degrees,
+    )
+    from .workloads.benchmarks import get_benchmark
+    from .workloads.streams import poisson_arrivals
+    from .workloads.traces import CandidateTraceGenerator, LabelHotnessModel
+
+    spec = get_benchmark(args.benchmark)
+    slo = args.slo_ms / 1000.0
+
+    # Calibrate the affine service model from a real batch sweep so the
+    # serving layer and the batching ablation agree on the roofline knee.
+    hotness = LabelHotnessModel(
+        num_labels=spec.num_labels, run_length=1, seed=args.seed
+    )
+    generator = CandidateTraceGenerator(
+        hotness, candidate_ratio=0.10, query_noise=0.05
+    )
+    analyzer = BatchingAnalyzer(spec, generator, sample_tiles=args.tiles)
+    points = analyzer.sweep((1, 2, 4, 8, 16, 32))
+    service = AffineServiceModel.from_batch_points(points)
+
+    config = ServingConfig(
+        slo=slo, shards=args.shards, replicas=args.replicas
+    )
+    degrees = shard_hot_degrees(generator, args.shards, tile_size=512)
+    simulator = build_serving_stack(service, config, hot_degrees=degrees)
+
+    capacity = saturating_rate(service, config)
+    rate = args.rate if args.rate is not None else capacity
+    num_queries = max(1, int(round(rate * args.duration)))
+    arrivals = poisson_arrivals(rate, num_queries, seed=args.seed)
+    report = simulator.run(arrivals)
+
+    summary = report.to_dict()
+    rows = [
+        ["offered load", f"{rate:,.0f} q/s ({rate / capacity:.2f}x saturation)"],
+        ["arrived / admitted / shed",
+         f"{report.arrived} / {report.admitted} / {report.shed_count}"],
+        ["shed rate", f"{report.shed_rate:.1%}"],
+        ["goodput", f"{report.goodput:,.0f} q/s within SLO"],
+        ["SLO attainment", f"{report.slo_attainment:.1%} of admitted"],
+    ]
+    for label in ("p50", "p95", "p99"):
+        value = summary[f"{label}_s"]
+        rows.append([
+            f"{label} latency",
+            "-" if value is None
+            else f"{format_seconds(value)} (SLO {format_seconds(slo)})",
+        ])
+    rows.append(["batches", f"{len(report.batches)} "
+                 f"(mean size {report.mean_batch_size:.1f}, "
+                 f"knee {service.knee})"])
+    rows.append(["max degrade level", str(report.max_degrade_level)])
+    print(render_table(
+        ["quantity", "value"], rows,
+        title=f"Serving {args.benchmark}: {args.shards} shards x "
+              f"{args.replicas} replicas, SLO {args.slo_ms:g}ms",
+    ))
+
+    if args.out:
+        payload = {
+            "benchmark": args.benchmark,
+            "seed": args.seed,
+            "duration_s": args.duration,
+            "rate_qps": rate,
+            "saturating_rate_qps": capacity,
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "service": {
+                "base_s": service.base,
+                "per_query_s": service.per_query,
+                "knee": service.knee,
+            },
+            "report": summary,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run
 
@@ -358,6 +454,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_verbose(validate)
 
+    serve = sub.add_parser(
+        "serve", help="simulate the SLO-aware serving layer under load"
+    )
+    serve.add_argument(
+        "--benchmark", default="GNMT-E32K", help="Table 3 benchmark name"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="offered load in queries/s (default: the saturating rate)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=1.0,
+        help="simulated seconds of arrivals to generate",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=20.0, help="latency SLO in milliseconds"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards", type=int, default=2, help="label shards per replica group"
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, help="replica groups"
+    )
+    serve.add_argument(
+        "--tiles", type=int, default=4,
+        help="sample tiles for service-model calibration",
+    )
+    serve.add_argument(
+        "--out", default=None, help="write the run summary as JSON"
+    )
+    _add_verbose(serve)
+
     from .lint.cli import configure_parser as configure_lint_parser
 
     lint = sub.add_parser(
@@ -381,6 +510,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

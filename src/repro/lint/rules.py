@@ -46,6 +46,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.analysis",
     "repro.config",
     "repro.cli",
+    "repro.serve",
 )
 
 #: Packages allowed to read the wall clock (telemetry measures real time by
@@ -551,7 +552,7 @@ class UnorderedIteration(Rule):
         "the elements feed channel selection, placement, or event scheduling "
         "the simulation stops being reproducible — wrap in sorted(...)"
     )
-    packages = ("repro.ssd", "repro.layout")
+    packages = ("repro.ssd", "repro.layout", "repro.serve")
 
     def check(self, context: FileContext) -> Iterable[Finding]:
         set_names: Set[str] = set()
@@ -611,7 +612,7 @@ class ExceptionHygiene(Rule):
         "blanket handlers swallow SimulationError/ProtocolError and keep a "
         "broken simulation running; catch the specific repro.errors type"
     )
-    packages = ("repro.ssd", "repro.core")
+    packages = ("repro.ssd", "repro.core", "repro.serve")
 
     def _blanket_name(self, node: Optional[ast.AST]) -> Optional[str]:
         if node is None:

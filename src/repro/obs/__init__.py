@@ -58,6 +58,7 @@ from .tracing import (
     HOST_TRACK,
     INT4_TRACK,
     PIPELINE_TRACK,
+    SERVE_TRACK,
     NullTracer,
     NULL_TRACER,
     SpanRecord,
@@ -97,6 +98,7 @@ __all__ = [
     "FP32_TRACK",
     "HOST_TRACK",
     "CLUSTER_TRACK",
+    "SERVE_TRACK",
     "FLASH_TRACK_PREFIX",
 ]
 

@@ -38,6 +38,7 @@ INT4_TRACK = "int4-module"
 FP32_TRACK = "fp32-module"
 HOST_TRACK = "host"
 CLUSTER_TRACK = "cluster"
+SERVE_TRACK = "serve"
 FLASH_TRACK_PREFIX = "flash/ch"
 
 

@@ -1,0 +1,97 @@
+"""Per-tenant FIFO/priority queues with deterministic service order.
+
+Each tenant gets its own FIFO; :meth:`RequestQueue.pop` serves the head
+request with the highest priority, breaking ties by arrival time and then by
+request id, so the drain order is a pure function of the admitted sequence —
+no hashing, no insertion-order accidents.  The scheduler only ever touches
+queue *heads*, which keeps per-tenant FIFO ordering intact while still
+letting a high-priority tenant overtake between batches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .request import Request
+
+
+class RequestQueue:
+    """Admitted-but-not-yet-dispatched requests, grouped by tenant."""
+
+    def __init__(self) -> None:
+        self._by_tenant: Dict[str, Deque[Request]] = {}
+        #: tenants in first-seen order, so head scans are deterministic
+        self._tenant_order: List[str] = []
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        return {t: len(q) for t, q in self._by_tenant.items() if q}
+
+    def push(self, request: Request) -> None:
+        queue = self._by_tenant.get(request.tenant)
+        if queue is None:
+            queue = deque()
+            self._by_tenant[request.tenant] = queue
+            self._tenant_order.append(request.tenant)
+        queue.append(request)
+        self._depth += 1
+
+    def _best_head(self) -> Optional[Tuple[int, float, int, str]]:
+        """Service key of the next request: (-priority, arrival, id, tenant)."""
+        best: Optional[Tuple[int, float, int, str]] = None
+        for tenant in self._tenant_order:
+            queue = self._by_tenant[tenant]
+            if not queue:
+                continue
+            head = queue[0]
+            key = (-head.priority, head.arrival, head.request_id, tenant)
+            if best is None or key < best:
+                best = key
+        return best
+
+    def peek(self) -> Optional[Request]:
+        """The request :meth:`pop` would return, without removing it."""
+        best = self._best_head()
+        if best is None:
+            return None
+        return self._by_tenant[best[3]][0]
+
+    def oldest_arrival(self) -> Optional[float]:
+        """Earliest arrival time over every queued request head."""
+        arrivals = [
+            q[0].arrival for q in self._by_tenant.values() if q
+        ]
+        return min(arrivals) if arrivals else None
+
+    def earliest_deadline(self) -> Optional[float]:
+        """Tightest absolute deadline over every queued request."""
+        deadlines = [
+            r.deadline for q in self._by_tenant.values() for r in q
+        ]
+        return min(deadlines) if deadlines else None
+
+    def pop(self) -> Request:
+        best = self._best_head()
+        if best is None:
+            raise SimulationError("pop from an empty request queue")
+        request = self._by_tenant[best[3]].popleft()
+        self._depth -= 1
+        return request
+
+    def pop_batch(self, limit: int) -> List[Request]:
+        """Remove and return up to ``limit`` requests in service order."""
+        if limit <= 0:
+            raise SimulationError(f"batch limit must be positive, got {limit}")
+        batch: List[Request] = []
+        while self._depth > 0 and len(batch) < limit:
+            batch.append(self.pop())
+        return batch

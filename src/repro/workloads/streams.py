@@ -52,8 +52,12 @@ def bursty_arrivals(
     """
     if base_rate <= 0 or burst_rate <= base_rate:
         raise WorkloadError("need burst_rate > base_rate > 0")
+    if num_queries <= 0:
+        raise WorkloadError("num_queries must be positive")
     if not (0.0 < burst_fraction < 1.0):
         raise WorkloadError("burst_fraction must be in (0, 1)")
+    if mean_phase_queries <= 0:
+        raise WorkloadError("mean_phase_queries must be positive")
     rng = np.random.default_rng(seed)
     gaps = np.empty(num_queries)
     produced = 0
@@ -98,9 +102,19 @@ class ServiceReport:
 
     @property
     def mean_latency(self) -> float:
+        if not self.samples:
+            raise WorkloadError(
+                "service report is empty; mean latency is undefined"
+            )
         return float(self.latencies().mean())
 
     def percentile(self, q: float) -> float:
+        if not self.samples:
+            raise WorkloadError(
+                "service report is empty; latency percentiles are undefined"
+            )
+        if not 0.0 <= q <= 100.0:
+            raise WorkloadError(f"percentile must be in [0, 100], got {q}")
         return float(np.percentile(self.latencies(), q))
 
     @property

@@ -1,0 +1,417 @@
+"""Tests for the deterministic SLO-aware serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.batching import BatchPoint
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.obs import SERVE_TRACK
+from repro.serve import (
+    AdmissionConfig,
+    AdmissionController,
+    AffineServiceModel,
+    DeadlineBatcher,
+    DegradationLadder,
+    DegradeStep,
+    Request,
+    RequestQueue,
+    Router,
+    ServingConfig,
+    ServingReport,
+    TokenBucket,
+    build_replicas,
+    build_serving_stack,
+    saturating_rate,
+    shard_hot_degrees,
+)
+from repro.workloads.streams import poisson_arrivals
+from repro.workloads.traces import CandidateTraceGenerator, LabelHotnessModel
+
+#: A fast, pure-Python service model: 0.2 ms base, 0.1 ms/query, knee at 8.
+SERVICE = AffineServiceModel(
+    base=2e-4, per_query=1e-4, knee=8, candidate_fraction=0.7
+)
+CONFIG = ServingConfig(slo=0.02, shards=2, replicas=2)
+
+
+def run_at(multiplier, seed=0, num_queries=2000, config=CONFIG):
+    """Fresh stack replaying a Poisson stream at ``multiplier`` x saturation."""
+    simulator = build_serving_stack(SERVICE, config)
+    rate = multiplier * saturating_rate(SERVICE, config)
+    arrivals = poisson_arrivals(rate, num_queries, seed=seed)
+    return simulator.run(arrivals)
+
+
+class TestRequestTypes:
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(WorkloadError):
+            Request(request_id=0, arrival=1.0, deadline=0.5)
+
+    def test_slo_property(self):
+        request = Request(request_id=0, arrival=1.0, deadline=1.02)
+        assert request.slo == pytest.approx(0.02)
+
+    def test_empty_report_percentile_raises(self):
+        report = ServingReport(slo=0.02, arrived=5)
+        with pytest.raises(WorkloadError, match="percentiles"):
+            report.percentile(99.0)
+        assert report.goodput == 0.0
+        assert report.slo_attainment == 0.0
+
+    def test_percentile_range_validated(self):
+        report = run_at(0.5, num_queries=200)
+        with pytest.raises(WorkloadError, match="percentile"):
+            report.percentile(101.0)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = run_at(0.5, num_queries=200).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRequestQueue:
+    def _request(self, rid, arrival, tenant="default", priority=0):
+        return Request(
+            request_id=rid,
+            arrival=arrival,
+            deadline=arrival + 1.0,
+            tenant=tenant,
+            priority=priority,
+        )
+
+    def test_fifo_within_tenant(self):
+        queue = RequestQueue()
+        for rid in range(3):
+            queue.push(self._request(rid, float(rid)))
+        assert [queue.pop().request_id for _ in range(3)] == [0, 1, 2]
+
+    def test_priority_overtakes_between_tenants(self):
+        queue = RequestQueue()
+        queue.push(self._request(0, 0.0, tenant="a", priority=0))
+        queue.push(self._request(1, 1.0, tenant="b", priority=5))
+        assert queue.pop().request_id == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            RequestQueue().pop()
+
+    def test_pop_batch_limit(self):
+        queue = RequestQueue()
+        for rid in range(5):
+            queue.push(self._request(rid, float(rid)))
+        batch = queue.pop_batch(3)
+        assert [r.request_id for r in batch] == [0, 1, 2]
+        assert queue.depth == 2
+        with pytest.raises(SimulationError):
+            queue.pop_batch(0)
+
+    def test_peek_matches_pop(self):
+        queue = RequestQueue()
+        queue.push(self._request(7, 3.0))
+        assert queue.peek().request_id == 7
+        assert queue.depth == 1
+
+
+class TestAdmission:
+    def test_token_bucket_refills_on_sim_clock(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst spent
+        assert bucket.try_take(0.1)  # one token back after 0.1 s
+
+    def test_token_bucket_burst_cap(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        bucket.try_take(100.0)  # long idle: tokens capped at burst
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_token_bucket_time_backwards_raises(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.try_take(1.0)
+        with pytest.raises(SimulationError):
+            bucket.try_take(0.5)
+
+    def test_for_slo_never_below_one_batch_per_replica(self):
+        config = AdmissionConfig.for_slo(
+            slo=0.001, worst_batch_time=0.0009, knee=8, replicas=2
+        )
+        assert config.max_pending == 16
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(token_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(max_pending=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig.for_slo(slo=0.0, worst_batch_time=1.0, knee=8)
+
+    def test_depth_gate_does_not_burn_tokens(self):
+        controller = AdmissionController(
+            AdmissionConfig(token_rate=1.0, token_burst=1.0, max_pending=1)
+        )
+        request = Request(request_id=0, arrival=0.0, deadline=1.0)
+        assert controller.decide(request, pending=5, now=0.0) == "queue_depth"
+        # The depth shed above must not have consumed the single token.
+        assert controller.decide(request, pending=0, now=0.0) is None
+        controller.verify_conservation()
+
+    def test_conservation_violation_raises(self):
+        controller = AdmissionController(AdmissionConfig())
+        request = Request(request_id=0, arrival=0.0, deadline=1.0)
+        controller.decide(request, pending=0, now=0.0)
+        controller.admitted += 1  # tamper with the ledger
+        with pytest.raises(SimulationError, match="conservation"):
+            controller.verify_conservation()
+
+
+class TestDegradationLadder:
+    def test_hysteresis(self):
+        ladder = DegradationLadder(high_watermark=0.6, low_watermark=0.25)
+        assert ladder.update(0.7) == 1  # escalate at >= high
+        assert ladder.update(0.4) == 1  # hold between watermarks
+        assert ladder.update(0.1) == 0  # recover below low
+        assert ladder.escalations == 1
+
+    def test_escalation_is_one_step_per_dispatch(self):
+        ladder = DegradationLadder()
+        ladder.update(1.0)
+        assert ladder.level == 1
+        ladder.update(1.0)
+        assert ladder.level == 2
+
+    def test_step_zero_must_be_full_fidelity(self):
+        with pytest.raises(ConfigurationError):
+            DegradationLadder(steps=(DegradeStep("dim", candidate_scale=0.5),))
+
+    def test_candidate_scales_must_not_increase(self):
+        steps = (
+            DegradeStep("full"),
+            DegradeStep("low", candidate_scale=0.4),
+            DegradeStep("back-up", candidate_scale=0.8),
+        )
+        with pytest.raises(ConfigurationError):
+            DegradationLadder(steps=steps)
+
+    def test_default_ladder_floor_respects_sensitivity_bound(self):
+        ladder = DegradationLadder()
+        assert ladder.steps[-1].candidate_scale >= 0.25
+
+
+class TestRouter:
+    def test_route_prefers_least_outstanding_then_lowest_index(self):
+        router = Router(build_replicas(2, [1.0]), SERVICE)
+        first = router.route()
+        assert first.index == 0  # tie at zero outstanding -> lowest index
+        router.acquire(first, 4)
+        assert router.route().index == 1
+
+    def test_route_none_when_pipelines_full(self):
+        router = Router(build_replicas(1, [1.0]), SERVICE, pipeline_depth=1)
+        router.acquire(router.route(), 4)
+        assert router.route() is None
+        assert not router.has_capacity()
+
+    def test_release_guards(self):
+        router = Router(build_replicas(1, [1.0]), SERVICE)
+        replica = router.replicas[0]
+        with pytest.raises(SimulationError):
+            router.release(replica, 1)
+
+    def test_fanout_batch_time_is_slowest_shard_plus_merge(self):
+        # Two equal shards each hold half the labels: the variable term
+        # halves, and the host merge adds its transfer on top.
+        router = Router(build_replicas(1, [1.0, 1.0]), SERVICE)
+        replica = router.replicas[0]
+        batch = 8
+        shard_only = SERVICE.batch_time(batch, work_fraction=0.5)
+        total = router.batch_time_on(replica, batch)
+        assert total == pytest.approx(shard_only + router.merge_time(batch))
+
+    def test_hot_shard_slows_its_group(self):
+        cool = Router(build_replicas(1, [1.0, 1.0]), SERVICE)
+        skew = Router(build_replicas(1, [1.6, 0.4]), SERVICE)
+        assert skew.worst_batch_time(8) > cool.worst_batch_time(8)
+
+    def test_shard_hot_degrees_normalized_and_deterministic(self):
+        hotness = LabelHotnessModel(num_labels=32768, run_length=1, seed=3)
+        generator = CandidateTraceGenerator(
+            hotness, candidate_ratio=0.10, query_noise=0.05
+        )
+        degrees = shard_hot_degrees(generator, num_shards=4, tile_size=256)
+        again = shard_hot_degrees(generator, num_shards=4, tile_size=256)
+        assert degrees == again
+        assert np.mean(degrees) == pytest.approx(1.0)
+        assert all(d > 0 for d in degrees)
+
+
+class TestScheduler:
+    def test_affine_fit_recovers_parameters(self):
+        base, per_query = 1e-3, 2e-4
+        points = [
+            BatchPoint(
+                batch=b,
+                batch_time=base + per_query * b,
+                queries_per_second=b / (base + per_query * b),
+                compute_bound_fraction=0.0,
+                queue_wait=0.0,
+            )
+            for b in (1, 2, 4, 8, 16)
+        ]
+        model = AffineServiceModel.from_batch_points(points)
+        assert model.base == pytest.approx(base)
+        assert model.per_query == pytest.approx(per_query)
+
+    def test_batch_time_scales(self):
+        full = SERVICE.batch_time(8)
+        degraded = SERVICE.batch_time(8, candidate_scale=0.25)
+        half_shard = SERVICE.batch_time(8, work_fraction=0.5)
+        assert degraded < full
+        assert half_shard < full
+        # Only the candidate-dependent share shrinks under degradation.
+        variable = SERVICE.per_query * 8
+        expected = SERVICE.base + variable * (0.3 + 0.7 * 0.25)
+        assert degraded == pytest.approx(expected)
+
+    def test_form_batch_never_exceeds_knee(self):
+        batcher = DeadlineBatcher(SERVICE, close_margin=0.005)
+        queue = RequestQueue()
+        for rid in range(SERVICE.knee * 3):
+            queue.push(
+                Request(request_id=rid, arrival=0.0, deadline=1.0)
+            )
+        assert len(batcher.form_batch(queue)) == SERVICE.knee
+
+    def test_should_close_on_knee_or_slack(self):
+        batcher = DeadlineBatcher(SERVICE, close_margin=0.005)
+        queue = RequestQueue()
+        queue.push(Request(request_id=0, arrival=0.0, deadline=0.02))
+        assert not batcher.should_close(queue, now=0.0)
+        assert batcher.should_close(queue, now=0.015)  # slack exhausted
+        for rid in range(1, SERVICE.knee):
+            queue.push(Request(request_id=rid, arrival=0.0, deadline=0.02))
+        assert batcher.should_close(queue, now=0.0)  # knee reached
+
+
+class TestServingProperties:
+    def test_conservation_across_rates(self):
+        for multiplier in (0.5, 1.0, 2.0, 4.0):
+            report = run_at(multiplier, num_queries=1500)
+            assert report.admitted + report.shed_count == report.arrived
+            assert len(report.completed) == report.admitted
+
+    def test_determinism_bit_identical(self):
+        first = run_at(2.0, seed=11)
+        second = run_at(2.0, seed=11)
+        np.testing.assert_array_equal(first.latencies(), second.latencies())
+        assert [s.request.request_id for s in first.shed] == [
+            s.request.request_id for s in second.shed
+        ]
+        assert [b.size for b in first.batches] == [
+            b.size for b in second.batches
+        ]
+        assert first.p99 == second.p99
+
+    def test_shed_rate_monotone_in_offered_load(self):
+        rates = (0.5, 1.0, 2.0, 4.0, 8.0)
+        shed = [run_at(m, num_queries=1500).shed_rate for m in rates]
+        assert all(a <= b + 1e-12 for a, b in zip(shed, shed[1:]))
+        assert shed[0] == 0.0
+        assert shed[-1] > 0.0
+
+    def test_batches_never_exceed_knee(self):
+        report = run_at(4.0)
+        assert max(b.size for b in report.batches) <= SERVICE.knee
+
+    def test_overload_keeps_admitted_p99_within_slo(self):
+        baseline = run_at(1.0)
+        overload = run_at(2.0)
+        assert overload.p99 <= CONFIG.slo
+        assert overload.slo_attainment == pytest.approx(1.0)
+        # Degradation engaged, shedding explicit, goodput degrades
+        # gracefully (no collapse below the saturated baseline).
+        assert overload.max_degrade_level >= 1
+        assert overload.shed_rate > 0.0
+        assert overload.goodput >= 0.8 * baseline.goodput
+
+    def test_light_load_dispatches_eagerly(self):
+        report = run_at(0.1, num_queries=300)
+        # An idle cluster should not hold requests for a full knee batch.
+        assert report.p50 < 2.0 * SERVICE.knee_batch_time
+        assert report.shed_rate == 0.0
+
+    def test_token_bucket_gate_sheds_with_reason(self):
+        config = ServingConfig(
+            slo=0.02, shards=2, replicas=2, token_rate=1000.0
+        )
+        simulator = build_serving_stack(SERVICE, config)
+        arrivals = poisson_arrivals(4000.0, 800, seed=5)
+        report = simulator.run(arrivals)
+        assert report.shed_by_reason().get("token_bucket", 0) > 0
+        assert report.admitted + report.shed_count == report.arrived
+
+    def test_priority_tenant_overtakes_the_backlog(self):
+        # 40 simultaneous arrivals on 2 replica groups: batches 0 and 1 take
+        # the first 16 requests; the high-priority tenant's tail (ids 32-39)
+        # must jump the 16 queued low-priority requests into the next
+        # dispatch.  (Queues stay FIFO *within* a tenant, so the overtaking
+        # requests need their own tenant.)
+        config = ServingConfig(
+            slo=0.02, shards=2, replicas=2, eager_when_idle=False
+        )
+        simulator = build_serving_stack(SERVICE, config)
+        arrivals = np.full(40, 0.0)
+        tenants = ["urgent" if i >= 32 else "batch" for i in range(40)]
+        priorities = [1 if i >= 32 else 0 for i in range(40)]
+        report = simulator.run(arrivals, tenants=tenants, priorities=priorities)
+        third = report.batches[2]
+        members = sorted(
+            c.request.request_id
+            for c in report.completed
+            if c.dispatch_time == third.start and c.replica == third.replica
+        )
+        assert members == list(range(32, 40))
+
+    def test_run_input_validation(self):
+        simulator = build_serving_stack(SERVICE, CONFIG)
+        with pytest.raises(WorkloadError):
+            simulator.run([])
+        with pytest.raises(WorkloadError):
+            simulator.run([1.0, 0.5])
+        with pytest.raises(WorkloadError):
+            simulator.run([0.0, 1.0], tenants=["a"])
+
+    def test_slo_too_tight_for_knee_batch_raises(self):
+        with pytest.raises(ConfigurationError, match="SLO"):
+            build_serving_stack(SERVICE, ServingConfig(slo=1e-4))
+
+    def test_hot_degrees_must_match_shards(self):
+        with pytest.raises(ConfigurationError):
+            build_serving_stack(
+                SERVICE, ServingConfig(slo=0.02, shards=2), hot_degrees=[1.0]
+            )
+
+    def test_saturating_rate_scales_with_replicas(self):
+        one = saturating_rate(SERVICE, ServingConfig(slo=0.02, replicas=1))
+        two = saturating_rate(SERVICE, ServingConfig(slo=0.02, replicas=2))
+        assert two == pytest.approx(2.0 * one)
+
+
+class TestServeObservability:
+    def test_metrics_and_spans_recorded(self):
+        with obs.configure(install=True) as session:
+            report = run_at(1.0, num_queries=400)
+            batches = session.registry.get("serve_batches_total")
+            requests = session.registry.get("serve_requests_total")
+            latency = session.registry.get("serve_request_latency_seconds")
+            assert sum(v for _, v in batches.samples()) == len(report.batches)
+            assert sum(v for _, v in requests.samples()) == 400
+            observed = sum(state.count for _, state in latency.states())
+            assert observed == len(report.completed)
+            assert SERVE_TRACK in session.tracer.tracks()
+
+    def test_disabled_observability_is_bit_identical(self):
+        quiet = run_at(2.0, seed=9)
+        with obs.configure(install=True):
+            traced = run_at(2.0, seed=9)
+        np.testing.assert_array_equal(quiet.latencies(), traced.latencies())

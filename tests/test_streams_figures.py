@@ -7,6 +7,7 @@ from repro.analysis.figures import bar_chart, grouped_bars, sparkline
 from repro.errors import WorkloadError
 from repro.workloads.streams import (
     LatencySample,
+    ServiceReport,
     bursty_arrivals,
     poisson_arrivals,
     simulate_batched_service,
@@ -44,6 +45,16 @@ class TestArrivals:
             bursty_arrivals(100.0, 50.0, 10)
         with pytest.raises(WorkloadError):
             bursty_arrivals(100.0, 200.0, 10, burst_fraction=0.0)
+
+    def test_bursty_rejects_nonpositive_counts(self):
+        # Regression: these used to slip past validation and fail deep in
+        # numpy (empty cumsum / ZeroDivisionError) instead of WorkloadError.
+        with pytest.raises(WorkloadError, match="num_queries"):
+            bursty_arrivals(100.0, 200.0, 0)
+        with pytest.raises(WorkloadError, match="num_queries"):
+            bursty_arrivals(100.0, 200.0, -5)
+        with pytest.raises(WorkloadError, match="mean_phase_queries"):
+            bursty_arrivals(100.0, 200.0, 10, mean_phase_queries=0)
 
 
 class TestBatchedService:
@@ -96,6 +107,25 @@ class TestBatchedService:
         sample = LatencySample(arrival=1.0, batch_start=1.5, completion=2.0)
         assert sample.latency == 1.0
         assert sample.queue_wait == 0.5
+
+    def test_empty_report_raises_workload_error(self):
+        # Regression: an empty report used to produce a numpy warning and
+        # NaN from mean_latency / percentile instead of a clear error.
+        empty = ServiceReport(samples=[])
+        with pytest.raises(WorkloadError, match="empty"):
+            _ = empty.mean_latency
+        with pytest.raises(WorkloadError, match="empty"):
+            empty.percentile(99)
+        assert empty.throughput == 0.0
+
+    def test_percentile_range_validation(self):
+        report = ServiceReport(
+            samples=[LatencySample(arrival=0.0, batch_start=0.0, completion=1.0)]
+        )
+        with pytest.raises(WorkloadError, match="percentile"):
+            report.percentile(-1.0)
+        with pytest.raises(WorkloadError, match="percentile"):
+            report.percentile(101.0)
 
 
 class TestFigures:
