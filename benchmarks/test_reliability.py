@@ -1,0 +1,78 @@
+"""Reliability bench: accuracy and latency cost of injected NAND faults.
+
+Walks the fault matrix along a 10x RBER ladder for the pure-wear class and
+the everything-at-once storm class, and records the trajectory the
+co-design pays as the device ages: read latency climbs the ECC ladder
+monotonically while top-k retention degrades gracefully (dropped weight
+pages cost candidates, not crashes).  The chaos suite pins the invariants;
+this bench records the magnitudes.
+
+Results land in ``benchmarks/results/BENCH_reliability.json``
+(machine-readable matrix) and ``benchmarks/results/reliability.txt``
+(rendered table).
+"""
+
+import json
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.analysis.reporting import render_table
+from repro.faults.harness import run_fault_matrix
+
+NUM_LABELS = 1024
+NUM_QUERIES = 8
+RBER_SCALES = (1.0, 2.0, 5.0, 10.0)
+FAULT_CLASSES = ("rber", "storm")
+SEED = 0
+
+
+def test_reliability_matrix(benchmark, record_table):
+    report = run_once(
+        benchmark,
+        lambda: run_fault_matrix(
+            num_labels=NUM_LABELS,
+            num_queries=NUM_QUERIES,
+            seed=SEED,
+            rber_scales=RBER_SCALES,
+            fault_classes=FAULT_CLASSES,
+        ),
+    )
+
+    # The acceptance invariants: more RBER never means faster reads or
+    # better accuracy, and every cell completed without a hang.
+    for fault_class in FAULT_CLASSES:
+        cells = [report.cell(fault_class, s) for s in RBER_SCALES]
+        latencies = [c["latency_s"] for c in cells]
+        retentions = [c["retention"] for c in cells]
+        assert all(b >= a for a, b in zip(latencies, latencies[1:]))
+        assert all(b <= a for a, b in zip(retentions, retentions[1:]))
+        assert all(c["storm"]["pages"] > 0 for c in cells)
+
+    payload = report.to_dict()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_reliability.json"
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    table_rows = [
+        [
+            fault_class,
+            f"{scale:g}x",
+            f"{cell['retention']:.1%}",
+            f"{cell['latency_vs_clean']:.2f}x",
+            f"{cell['storm']['mean_read_latency_s'] * 1e6:.2f} us",
+            int(cell["storm"]["failed_reads"]),
+        ]
+        for fault_class in FAULT_CLASSES
+        for scale in RBER_SCALES
+        for cell in [report.cell(fault_class, scale)]
+    ]
+    record_table(
+        "reliability",
+        render_table(
+            ["fault class", "rber", "top-k retention",
+             "latency vs clean", "ssd read latency", "failed reads"],
+            table_rows,
+        ),
+    )

@@ -15,6 +15,8 @@ Gives the reproduction a front door that requires no Python:
 * ``python -m repro serve`` — replay a Poisson arrival stream through the
   SLO-aware serving layer (admission, deadline batching, degradation,
   replica routing) and print goodput / shed rate / latency percentiles;
+* ``python -m repro faults`` — sweep the fault-injection matrix (RBER scales
+  x fault classes) and report top-k retention, latency, and SSD read cost;
 * ``python -m repro lint`` — run the reprolint determinism checks
   (``python -m repro.lint`` is the standalone equivalent).
 
@@ -372,6 +374,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run the fault-injection matrix and print/write its report."""
+    import json
+
+    from .analysis.reporting import format_seconds, render_table
+    from .faults.harness import FAULT_CLASSES, run_fault_matrix
+
+    classes = args.classes.split(",") if args.classes else list(FAULT_CLASSES)
+    scales = [float(s) for s in args.scales.split(",")]
+    session = _session_from_args(args)
+    try:
+        report = run_fault_matrix(
+            num_labels=args.labels,
+            num_queries=args.queries,
+            seed=args.seed,
+            rber_scales=scales,
+            fault_classes=classes,
+        )
+    finally:
+        _finish_session(session)
+    rows = []
+    for fault_class in classes:
+        for scale in scales:
+            cell = report.cell(fault_class, scale)
+            rows.append([
+                fault_class,
+                f"{scale:g}x",
+                f"{cell['retention']:.1%}",
+                f"{cell['latency_vs_clean']:.3f}x",
+                format_seconds(cell["storm"]["mean_read_latency_s"]),
+                int(cell["storm"]["failed_reads"]),
+            ])
+    print(render_table(
+        ["fault class", "rber", "top-k retention", "latency vs clean",
+         "ssd read latency", "failed reads"],
+        rows,
+        title=f"Fault matrix: {report.num_labels} labels, "
+              f"{report.queries} queries, seed {report.seed}",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run
 
@@ -487,6 +536,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_verbose(serve)
 
+    faults = sub.add_parser(
+        "faults", help="sweep the fault-injection matrix (RBER x fault class)"
+    )
+    faults.add_argument("--labels", type=int, default=2048)
+    faults.add_argument("--queries", type=int, default=16)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--scales", default="1,5,10",
+        help="comma-separated RBER scale multipliers to sweep",
+    )
+    faults.add_argument(
+        "--classes", default=None,
+        help="comma-separated fault classes (default: all)",
+    )
+    faults.add_argument(
+        "--out", default=None, help="write the matrix report as JSON"
+    )
+    _add_observability_flags(faults)
+    _add_verbose(faults)
+
     from .lint.cli import configure_parser as configure_lint_parser
 
     lint = sub.add_parser(
@@ -511,6 +580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "validate": _cmd_validate,
         "serve": _cmd_serve,
+        "faults": _cmd_faults,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

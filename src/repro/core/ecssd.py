@@ -20,7 +20,7 @@ feature flag changes *timing*, never *predictions*.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -28,6 +28,7 @@ import numpy as np
 from ..cfp32.circuits import MacDesign
 from ..config import ECSSDConfig
 from ..errors import ConfigurationError, WorkloadError
+from ..faults.injector import FAULT_TRACK, get_injector
 from ..obs import get_registry, get_tracer
 from ..layout.heterogeneous import WeightLayout, heterogeneous_layout, homogeneous_layout
 from ..layout.learned import HotnessPredictor, LearnedInterleaving, empirical_frequencies
@@ -238,6 +239,12 @@ class ECSSDevice:
             "run_inference", queries=features.shape[0], label=self.features.label
         ) as span:
             stats = self.model.infer(features, top_k=top_k)
+            injector = get_injector()
+            fault_surcharge = 0.0
+            if injector.enabled:
+                stats = self._apply_weight_faults(
+                    injector, stats, features, top_k, tracer
+                )
             batch = features.shape[0]
             tiles = self._tiles_from_candidates(
                 stats.screen.candidates, placement, batch
@@ -250,7 +257,15 @@ class ECSSDevice:
             run = self.pipeline.simulate(
                 tiles, host_bytes_in=host_in, host_bytes_out=host_out
             )
-            span.set_sim_window(0.0, run.total_time)
+            if injector.enabled:
+                # Every fetched page pays the expected ECC-ladder latency.
+                total_pages = sum(
+                    int(np.sum(t.fp32_pages_per_channel))
+                    + int(np.sum(t.int4_pages_per_channel))
+                    for t in tiles
+                )
+                fault_surcharge = injector.page_read_surcharge() * total_pages
+            span.set_sim_window(0.0, run.total_time + fault_surcharge)
             span.set_attr("tiles", run.tiles)
         registry = get_registry()
         if registry.enabled:
@@ -267,12 +282,54 @@ class ECSSDevice:
         report = PerformanceReport(
             run=run,
             queries=batch,
-            scaled_total_time=run.total_time,
+            scaled_total_time=run.total_time + fault_surcharge,
             sampled_tiles=run.tiles,
             total_tiles=self.deployment.num_tiles,
             label=self.features.label,
         )
         return stats, report
+
+    def _apply_weight_faults(self, injector, stats, features, top_k, tracer):
+        """Drop candidates whose weights are unreadable or corrupted.
+
+        Uncorrectable FP32 weight pages and DRAM-flipped screener rows both
+        make a label unusable: it is removed from every query's candidate
+        set and the surviving candidates are re-ranked, so the accuracy
+        cost of device faults is visible in the predictions (the classifier
+        pads short queries with label -1 / score -inf).
+        """
+        assert self.model is not None
+        bad = np.union1d(
+            injector.unreadable_labels(self.model.num_labels),
+            injector.flipped_labels(self.model.num_labels),
+        )
+        if bad.size == 0:
+            return stats
+        surviving = [
+            np.setdiff1d(np.asarray(c, dtype=np.int64), bad)
+            for c in stats.screen.candidates
+        ]
+        result = self.model.classifier.classify(features, surviving, top_k=top_k)
+        screen = replace(stats.screen, candidates=surviving)
+        stats = replace(
+            stats,
+            result=result,
+            screen=screen,
+            candidate_ratio=screen.candidate_ratio(),
+        )
+        if tracer.enabled:
+            tracer.instant(
+                "weight_faults",
+                track=FAULT_TRACK,
+                attrs={"labels_dropped": int(bad.size)},
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "fault_labels_dropped_total",
+                "labels dropped from candidate sets by device faults",
+            ).inc(int(bad.size))
+        return stats
 
     def _tiles_from_candidates(
         self,

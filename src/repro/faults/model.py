@@ -1,0 +1,184 @@
+"""Reliability models: raw bit-error rate and the tiered ECC pipeline.
+
+NAND raw bit-error rate (RBER) is not a constant: it grows with program/
+erase cycling (oxide wear) and with retention time (charge leakage), the two
+axes every MQSim-class reliability study sweeps.  :class:`RberModel` is that
+two-axis surface, deliberately simple and monotone:
+
+    rber(pe, retention) = base * scale
+                          * (1 + (pe / pe_ref) ** pe_exp)
+                          * (1 + retention / retention_ref)
+
+On top of the raw errors sits the controller's correction pipeline,
+modeled by :class:`EccModel` as the industry-standard tier ladder:
+
+1. **fast tier** — BCH-like hard-decision decode, corrects up to
+   ``fast_limit_bits`` per codeword at (near) zero added latency;
+2. **soft tier** — LDPC-like soft-decision decode, corrects up to
+   ``soft_limit_bits`` but costs ``soft_latency`` per page;
+3. **read-retry ladder** — each retry re-senses the page at a shifted
+   reference voltage (costing ``retry_latency`` and occupying the die),
+   shrinking the effective error count by ``retry_gain`` per step;
+4. **uncorrectable** — the ladder is exhausted; the read fails and the
+   caller must drop or reconstruct the data.
+
+Tier selection is a *deterministic* function of the page's expected error
+count, which is what makes fault sweeps monotone: a higher RBER can only
+move a read to a slower tier, never a faster one.  Page-to-page RBER
+variability (the reason uncorrectable reads exist long before the mean
+error count reaches the ladder's capacity) is modeled as a lognormal
+weak-page population in :meth:`EccModel.uncorrectable_fraction`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import us
+
+
+class EccTier(enum.Enum):
+    """Which stage of the correction ladder resolved (or failed) a read."""
+
+    FAST = "fast"  # BCH-like hard-decision decode
+    SOFT = "soft"  # LDPC-like soft-decision decode
+    RETRY = "retry"  # read-retry ladder + soft decode
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclass(frozen=True)
+class EccOutcome:
+    """The correction result for one page read."""
+
+    tier: EccTier
+    extra_latency: float  # seconds added on top of the nominal read
+    retries: int = 0
+
+    @property
+    def correctable(self) -> bool:
+        return self.tier is not EccTier.UNCORRECTABLE
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Shape of the correction ladder (one 4 KiB page = one codeword)."""
+
+    codeword_bits: int = 32768
+    fast_limit_bits: int = 16
+    soft_limit_bits: int = 72
+    fast_latency: float = 0.0
+    soft_latency: float = us(60.0)
+    retry_latency: float = us(35.0)
+    retry_gain: float = 0.55
+    max_retries: int = 4
+    #: Lognormal sigma of the page-to-page RBER spread (weak-page model).
+    page_sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.codeword_bits <= 0:
+            raise ConfigurationError("codeword_bits must be positive")
+        if not (0 < self.fast_limit_bits <= self.soft_limit_bits):
+            raise ConfigurationError(
+                "limits must satisfy 0 < fast_limit_bits <= soft_limit_bits"
+            )
+        for name in ("fast_latency", "soft_latency", "retry_latency"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"EccConfig.{name} cannot be negative")
+        if not (0.0 < self.retry_gain < 1.0):
+            raise ConfigurationError("retry_gain must be in (0, 1)")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if self.page_sigma <= 0:
+            raise ConfigurationError("page_sigma must be positive")
+
+
+@dataclass(frozen=True)
+class RberModel:
+    """Monotone RBER surface over P/E cycling and retention time."""
+
+    base: float = 1e-4
+    scale: float = 1.0
+    pe_ref: float = 3000.0
+    pe_exp: float = 2.0
+    retention_ref: float = 90.0 * 24.0 * 3600.0  # ~one quarter, in seconds
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.scale < 0:
+            raise ConfigurationError("RBER base must be positive, scale >= 0")
+        if self.pe_ref <= 0 or self.retention_ref <= 0:
+            raise ConfigurationError("RBER reference points must be positive")
+        if self.pe_exp < 1.0:
+            raise ConfigurationError("pe_exp must be >= 1 (wear accelerates)")
+
+    def rber(self, pe_cycles: float, retention: float) -> float:
+        """Raw bit-error rate for a page at the given wear and age."""
+        pe = max(0.0, pe_cycles)
+        age = max(0.0, retention)
+        wear = 1.0 + (pe / self.pe_ref) ** self.pe_exp
+        drift = 1.0 + age / self.retention_ref
+        return self.base * self.scale * wear * drift
+
+
+class EccModel:
+    """Deterministic tier selection and latency pricing for page reads."""
+
+    def __init__(self, config: Optional[EccConfig] = None) -> None:
+        self.config = config or EccConfig()
+
+    def expected_errors(self, rber: float) -> float:
+        """Mean raw bit errors per codeword at the given RBER."""
+        return max(0.0, rber) * self.config.codeword_bits
+
+    def outcome_for(self, rber: float) -> EccOutcome:
+        """Correction outcome for a page whose mean error count is rber*N.
+
+        Monotone by construction: a larger ``rber`` never yields a faster
+        tier or a smaller ``extra_latency``.
+        """
+        cfg = self.config
+        errors = self.expected_errors(rber)
+        if errors <= cfg.fast_limit_bits:
+            return EccOutcome(EccTier.FAST, cfg.fast_latency)
+        if errors <= cfg.soft_limit_bits:
+            return EccOutcome(EccTier.SOFT, cfg.soft_latency)
+        remaining = errors
+        retries = 0
+        while retries < cfg.max_retries and remaining > cfg.soft_limit_bits:
+            remaining *= cfg.retry_gain
+            retries += 1
+        latency = retries * cfg.retry_latency + cfg.soft_latency
+        if remaining <= cfg.soft_limit_bits:
+            return EccOutcome(EccTier.RETRY, latency, retries=retries)
+        return EccOutcome(EccTier.UNCORRECTABLE, latency, retries=retries)
+
+    @property
+    def ladder_limit_bits(self) -> float:
+        """Largest mean error count the full ladder can still correct."""
+        cfg = self.config
+        return cfg.soft_limit_bits / (cfg.retry_gain ** cfg.max_retries)
+
+    @property
+    def ladder_latency(self) -> float:
+        """Cost of exhausting the whole ladder (the uncorrectable path)."""
+        cfg = self.config
+        return cfg.max_retries * cfg.retry_latency + cfg.soft_latency
+
+    def uncorrectable_fraction(self, rber: float) -> float:
+        """Fraction of pages the full ladder fails to correct.
+
+        Pages are not uniform: a lognormal weak-page population (sigma
+        ``page_sigma``) means some pages sit far above the mean RBER.  The
+        returned fraction is the lognormal tail above the ladder's capacity
+        — smooth, deterministic, and strictly monotone in ``rber``.
+        """
+        errors = self.expected_errors(rber)
+        if errors <= 0.0:
+            return 0.0
+        ratio = self.ladder_limit_bits / errors
+        sigma = self.config.page_sigma
+        tail = 0.5 * math.erfc(math.log(ratio) / (sigma * math.sqrt(2.0)))
+        return min(1.0, max(0.0, tail))

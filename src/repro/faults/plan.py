@@ -1,0 +1,234 @@
+"""Fault configuration and the seeded, replayable :class:`FaultPlan`.
+
+A :class:`FaultConfig` names every knob of the reliability subsystem — the
+RBER surface, the ECC ladder, and the injectable component-fault classes —
+and :meth:`FaultConfig.disabled` is the zero-overhead default the rest of
+the stack sees when no faults are requested.
+
+A :class:`FaultPlan` is the *materialized* schedule of component faults for
+one run: channel stuck-offline windows, DRAM bit flips in the 4-bit
+screener table, and command timeouts.  Everything stochastic is drawn once,
+at plan-build time, from ``np.random.default_rng((seed, salt))`` streams
+(the repo's seeded-RNG idiom), so two plans built from the same config are
+bit-identical and a run can be replayed exactly.  Per-event decisions that
+must not depend on call order (weak-page selection, timeout ordinals) use a
+Knuth multiplicative hash of the entity id instead of RNG state, which
+keeps them stable under any interleaving of reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field, replace
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import us
+from .model import EccConfig
+
+# Knuth's multiplicative hash constant (2^32 / golden ratio) — a *hash*,
+# not an RNG: per-entity uniforms derived from it are independent of call
+# order, which makes weak-page and timeout selections replay-stable.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MODULUS = 2 ** 32
+
+# Salt values for the independent seeded RNG sub-streams of one plan.
+_SALT_OFFLINE = 1
+_SALT_DRAM = 2
+
+
+def hash_uniform(entity: int, seed: int, salt: int = 0) -> float:
+    """Deterministic uniform in [0, 1) for an entity id (order-independent)."""
+    mixed = (entity * _HASH_MULTIPLIER + seed * 40503 + salt * 69069) % _HASH_MODULUS
+    return mixed / _HASH_MODULUS
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Every knob of the fault-injection and reliability subsystem.
+
+    ``enabled=False`` (via :meth:`disabled`) turns the whole subsystem into
+    a no-op: no call site pays any cost and all timings are bit-identical
+    to a build without the subsystem.  ``rber_scale`` is the sweep axis the
+    fault matrix and the reliability bench walk; ``mean_pe_cycles`` and
+    ``deployment_age`` set the wear/retention operating point the analytic
+    pipeline assumes (the event-driven path reads real per-block wear from
+    the FTL instead).
+    """
+
+    enabled: bool = True
+    seed: int = 0
+    # --- RBER surface ------------------------------------------------------
+    rber_base: float = 1e-4
+    rber_scale: float = 1.0
+    pe_ref: float = 3000.0
+    pe_exp: float = 2.0
+    retention_ref: float = 90.0 * 24.0 * 3600.0
+    mean_pe_cycles: float = 0.0
+    deployment_age: float = 0.0
+    # --- ECC ladder --------------------------------------------------------
+    ecc: EccConfig = field(default_factory=EccConfig)
+    # --- component faults --------------------------------------------------
+    offline_windows: int = 0  # channel stuck-offline windows over the horizon
+    offline_duration: float = 2e-3  # seconds per window
+    dram_flips: int = 0  # bit flips in the 4-bit screener table
+    timeout_rate: float = 0.0  # fraction of flash commands that time out once
+    # --- controller resilience policy -------------------------------------
+    max_command_retries: int = 3
+    retry_backoff: float = us(100.0)
+    timeout_penalty: float = us(500.0)
+    # --- plan horizon ------------------------------------------------------
+    horizon: float = 1.0  # simulated seconds the component-fault plan covers
+
+    def __post_init__(self) -> None:
+        if self.rber_base <= 0 or self.rber_scale < 0:
+            raise ConfigurationError("rber_base must be positive, rber_scale >= 0")
+        if self.pe_ref <= 0 or self.retention_ref <= 0:
+            raise ConfigurationError("pe_ref/retention_ref must be positive")
+        if self.mean_pe_cycles < 0 or self.deployment_age < 0:
+            raise ConfigurationError("wear/retention operating point cannot be negative")
+        if self.offline_windows < 0 or self.dram_flips < 0:
+            raise ConfigurationError("fault counts cannot be negative")
+        if self.offline_duration < 0:
+            raise ConfigurationError("offline_duration cannot be negative")
+        if not (0.0 <= self.timeout_rate < 1.0):
+            raise ConfigurationError("timeout_rate must be in [0, 1)")
+        if self.max_command_retries < 0:
+            raise ConfigurationError("max_command_retries cannot be negative")
+        if self.retry_backoff < 0 or self.timeout_penalty < 0:
+            raise ConfigurationError("retry timing cannot be negative")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+
+    @classmethod
+    def disabled(cls) -> "FaultConfig":
+        """The zero-overhead default: the subsystem is completely inert."""
+        return cls(enabled=False)
+
+    def with_rber_scale(self, scale: float) -> "FaultConfig":
+        """A copy at a different point on the RBER sweep axis."""
+        return replace(self, rber_scale=scale)
+
+
+@dataclass(frozen=True)
+class OfflineWindow:
+    """One component-fault window during which a channel is stuck offline."""
+
+    channel: int
+    start: float
+    end: float
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+class FaultPlan:
+    """The materialized, replayable fault schedule for one run."""
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        windows: List[OfflineWindow],
+        dram_flip_fractions: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.windows: List[OfflineWindow] = sorted(
+            windows, key=lambda w: (w.channel, w.start)
+        )
+        self.dram_flip_fractions = np.sort(
+            np.asarray(dram_flip_fractions, dtype=np.float64)
+        )
+        # Per-channel sorted window lists for O(log n) release queries.
+        self._per_channel: dict = {}
+        for window in self.windows:
+            self._per_channel.setdefault(window.channel, []).append(window)
+        self._starts = {
+            channel: [w.start for w in ws]
+            for channel, ws in sorted(self._per_channel.items())
+        }
+
+    @classmethod
+    def build(cls, config: FaultConfig, channels: int) -> "FaultPlan":
+        """Materialize the component-fault schedule from the seeded RNG."""
+        if channels <= 0:
+            raise ConfigurationError("channels must be positive")
+        windows: List[OfflineWindow] = []
+        if config.offline_windows > 0:
+            rng = np.random.default_rng((config.seed, _SALT_OFFLINE))
+            chans = rng.integers(0, channels, size=config.offline_windows)
+            starts = rng.uniform(0.0, config.horizon, size=config.offline_windows)
+            for channel, start in zip(chans.tolist(), starts.tolist()):
+                windows.append(
+                    OfflineWindow(
+                        channel=int(channel),
+                        start=float(start),
+                        end=float(start) + config.offline_duration,
+                    )
+                )
+        if config.dram_flips > 0:
+            rng = np.random.default_rng((config.seed, _SALT_DRAM))
+            fractions = rng.uniform(0.0, 1.0, size=config.dram_flips)
+        else:
+            fractions = np.empty(0, dtype=np.float64)
+        return cls(config, windows, fractions)
+
+    # --- channel offline windows ------------------------------------------
+    def offline_release(self, channel: int, time: float) -> float:
+        """When ``channel`` is next usable at or after ``time``.
+
+        Returns ``time`` itself when no window covers it; otherwise the end
+        of the covering window (windows never extend each other: a command
+        released at a window's end re-checks against later windows only).
+        """
+        windows = self._per_channel.get(channel)
+        if not windows:
+            return time
+        starts = self._starts[channel]
+        release = time
+        index = bisect.bisect_right(starts, release) - 1
+        while index >= 0 and index < len(windows):
+            window = windows[index]
+            if window.covers(release):
+                release = window.end
+                index = bisect.bisect_right(starts, release) - 1
+            else:
+                break
+        return release
+
+    def offline_channels(self, time: float) -> List[int]:
+        """Channels stuck offline at ``time`` (sorted)."""
+        down = {w.channel for w in self.windows if w.covers(time)}
+        return sorted(down)
+
+    # --- DRAM bit flips ----------------------------------------------------
+    def flipped_labels(self, num_labels: int) -> np.ndarray:
+        """Labels whose 4-bit screener row a DRAM flip corrupted (sorted)."""
+        if num_labels <= 0 or self.dram_flip_fractions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        labels = np.minimum(
+            (self.dram_flip_fractions * num_labels).astype(np.int64),
+            num_labels - 1,
+        )
+        return np.unique(labels)
+
+    # --- command timeouts --------------------------------------------------
+    def command_times_out(self, ordinal: int) -> bool:
+        """Whether flash command ``ordinal`` suffers a (transient) timeout."""
+        rate = self.config.timeout_rate
+        if rate <= 0.0:
+            return False
+        return hash_uniform(ordinal, self.config.seed, salt=3) < rate
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (sorted, no wall-clock content)."""
+        return {
+            "offline_windows": [
+                {"channel": w.channel, "start": w.start, "end": w.end}
+                for w in self.windows
+            ],
+            "dram_flips": int(self.dram_flip_fractions.size),
+            "timeout_rate": self.config.timeout_rate,
+            "seed": self.config.seed,
+        }

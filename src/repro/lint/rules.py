@@ -47,6 +47,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.config",
     "repro.cli",
     "repro.serve",
+    "repro.faults",
 )
 
 #: Packages allowed to read the wall clock (telemetry measures real time by

@@ -53,6 +53,7 @@ from .metrics import (
 )
 from .tracing import (
     CLUSTER_TRACK,
+    FAULT_TRACK,
     FLASH_TRACK_PREFIX,
     FP32_TRACK,
     HOST_TRACK,
@@ -99,6 +100,7 @@ __all__ = [
     "HOST_TRACK",
     "CLUSTER_TRACK",
     "SERVE_TRACK",
+    "FAULT_TRACK",
     "FLASH_TRACK_PREFIX",
 ]
 

@@ -39,6 +39,7 @@ FP32_TRACK = "fp32-module"
 HOST_TRACK = "host"
 CLUSTER_TRACK = "cluster"
 SERVE_TRACK = "serve"
+FAULT_TRACK = "faults"
 FLASH_TRACK_PREFIX = "flash/ch"
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,7 @@ class ServingSimulator:
         ladder: DegradationLadder,
         slo: float,
         eager_when_idle: bool = True,
+        fault_signal: Optional[Callable[[float], float]] = None,
     ) -> None:
         if slo <= 0:
             raise ConfigurationError("slo must be positive")
@@ -88,6 +89,9 @@ class ServingSimulator:
         self.ladder = ladder
         self.slo = slo
         self.eager_when_idle = eager_when_idle
+        # Device-reliability pressure source (sim time -> [0, 1]); usually
+        # FaultInjector.fault_pressure.  None means a healthy device.
+        self.fault_signal = fault_signal
 
     # -- helpers -------------------------------------------------------------
     def _pending(self, queue: RequestQueue) -> int:
@@ -146,7 +150,10 @@ class ServingSimulator:
             replica = self.router.route()
             if replica is None:
                 raise SimulationError("dispatch with no replica capacity")
-            level = self.ladder.update(self._pressure(queue))
+            fault_pressure = (
+                self.fault_signal(now) if self.fault_signal is not None else 0.0
+            )
+            level = self.ladder.update(self._pressure(queue), fault_pressure)
             batch = self.batcher.form_batch(queue)
             if not batch:
                 raise SimulationError("dispatch from an empty queue")
@@ -334,6 +341,7 @@ def build_serving_stack(
     config: ServingConfig,
     hot_degrees: Optional[List[float]] = None,
     ladder: Optional[DegradationLadder] = None,
+    fault_signal: Optional[Callable[[float], float]] = None,
 ) -> ServingSimulator:
     """Assemble admission, batching, routing, and degradation into one stack.
 
@@ -381,6 +389,7 @@ def build_serving_stack(
         ladder=ladder if ladder is not None else DegradationLadder(),
         slo=config.slo,
         eager_when_idle=config.eager_when_idle,
+        fault_signal=fault_signal,
     )
 
 

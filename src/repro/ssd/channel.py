@@ -32,16 +32,19 @@ class Channel:
         self.bytes_transferred = 0
 
     # --- scheduling -----------------------------------------------------------
-    def read_page(self, now: float, die_index: int) -> Tuple[float, float]:
+    def read_page(
+        self, now: float, die_index: int, extra_sense: float = 0.0
+    ) -> Tuple[float, float]:
         """Schedule a page read on ``die_index`` starting at or after ``now``.
 
         Returns ``(start, finish)``: ``start`` is when the die begins sensing,
         ``finish`` is when the page's data transfer over the bus completes.
         The bus is acquired only after the sense finishes, which lets other
-        dies' transfers slot in during this die's tR.
+        dies' transfers slot in during this die's tR.  ``extra_sense``
+        extends the die occupation (ECC soft-decode / read-retry ladder).
         """
         die = self._die(die_index)
-        _sense_start, sense_end = die.execute(now, FlashOperation.READ)
+        _sense_start, sense_end = die.execute(now, FlashOperation.READ, extra_sense)
         _bus_start, bus_end = self.bus.acquire(sense_end, self.page_transfer_time)
         self.pages_transferred += 1
         self.bytes_transferred += self.config.page_size
@@ -60,6 +63,16 @@ class Channel:
         """Schedule a block erase on ``die_index`` (no bus data phase)."""
         die = self._die(die_index)
         return die.execute(now, FlashOperation.ERASE)
+
+    def block_until(self, time: float) -> None:
+        """Hold the whole channel (bus and dies) down before ``time``.
+
+        Models a stuck-offline window: nothing on the channel can start
+        before the window ends.  Accrues no busy time on any resource.
+        """
+        self.bus.block_until(time)
+        for die in self.dies:
+            die.block_until(time)
 
     # --- accounting -----------------------------------------------------------
     @property

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import enum
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import SimulationError
+from ..faults.injector import get_injector
 from ..obs import get_registry
 from .channel import Channel
 from .geometry import FlashGeometry, PhysicalAddress
@@ -33,20 +34,39 @@ class CommandKind(enum.Enum):
 
 @dataclass(frozen=True)
 class FlashCommand:
-    """One page-level flash command addressed to a physical page."""
+    """One page-level flash command addressed to a physical page.
+
+    When constructed with a ``geometry``, every address field is validated
+    against the device fan-out immediately (raising
+    :class:`~repro.errors.AddressError` naming the offending field) instead
+    of first failing deep inside :meth:`FlashController.submit`.  The
+    geometry rides along for validation only: it does not participate in
+    equality or repr.
+    """
 
     kind: CommandKind
     address: PhysicalAddress
+    geometry: Optional[FlashGeometry] = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.geometry is not None:
+            self.geometry.check(self.address)
 
 
 @dataclass
 class BatchResult:
-    """Timing of one command batch on one channel."""
+    """Timing of one command batch on one channel.
+
+    ``failed`` lists the addresses whose reads came back uncorrectable
+    (empty unless fault injection is active) — the die and bus time was
+    still spent, but the data is lost to the caller.
+    """
 
     channel: int
     commands: int
     start: float
     finish: float
+    failed: List[PhysicalAddress] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -76,6 +96,7 @@ class FlashController:
     def submit(self, now: float, commands: Iterable[FlashCommand]) -> BatchResult:
         """Issue ``commands`` starting at ``now``; returns batch timing."""
         registry = get_registry()
+        injector = get_injector()
         kind_counts: Optional[Dict[CommandKind, int]] = (
             {} if registry.enabled else None
         )
@@ -83,12 +104,24 @@ class FlashController:
         finish = now
         issue_time = now
         count = 0
+        failed: List[PhysicalAddress] = []
         for command in commands:
+            self.geometry.check(command.address)
             self._check_channel(command.address)
             die_index = self._local_die(command.address)
             issue_time += self.command_overhead
+            extra_sense = 0.0
+            if injector.enabled:
+                issue_time = self._fault_delays(injector, issue_time)
+                if command.kind is CommandKind.READ:
+                    outcome = injector.read_outcome(issue_time, command.address)
+                    extra_sense = outcome.extra_latency
+                    if not outcome.correctable:
+                        failed.append(command.address)
+                elif command.kind is CommandKind.PROGRAM:
+                    injector.on_program(command.address, issue_time)
             if command.kind is CommandKind.READ:
-                _s, end = self.channel.read_page(issue_time, die_index)
+                _s, end = self.channel.read_page(issue_time, die_index, extra_sense)
             elif command.kind is CommandKind.PROGRAM:
                 _s, end = self.channel.program_page(issue_time, die_index)
             elif command.kind is CommandKind.ERASE:
@@ -114,8 +147,38 @@ class FlashController:
                 self.channel.index, count, start, finish,
             )
         return BatchResult(
-            channel=self.channel.index, commands=count, start=start, finish=finish
+            channel=self.channel.index,
+            commands=count,
+            start=start,
+            finish=finish,
+            failed=failed,
         )
+
+    def _fault_delays(self, injector, issue_time: float) -> float:
+        """Apply offline windows and bounded timeout retries to one command.
+
+        The retry policy is deterministic and *bounded* (the no-hang
+        invariant): a timed-out command pays ``timeout_penalty`` plus a
+        linearly growing ``retry_backoff`` per attempt, and after
+        ``max_command_retries`` attempts the controller escalates to a
+        reset and forces the operation through rather than looping.
+        """
+        release = injector.offline_release(self.channel.index, issue_time)
+        if release > issue_time:
+            self.channel.block_until(release)
+            issue_time = release
+        config = injector.config
+        for attempt in range(config.max_command_retries + 1):
+            if not injector.next_command_times_out():
+                break
+            if attempt >= config.max_command_retries:
+                break  # retry budget exhausted: escalate (reset), proceed
+            issue_time += config.timeout_penalty + (attempt + 1) * config.retry_backoff
+            release = injector.offline_release(self.channel.index, issue_time)
+            if release > issue_time:
+                self.channel.block_until(release)
+                issue_time = release
+        return issue_time
 
     def _check_channel(self, address: PhysicalAddress) -> None:
         if address.channel != self.channel.index:

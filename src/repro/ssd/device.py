@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..config import ECSSDConfig
 from ..errors import SimulationError
+from ..faults.injector import get_injector
 from .buffer import PingPongBuffer
 from .channel import Channel
 from .controller import CommandKind, FlashCommand, FlashController, route_commands
@@ -78,6 +79,11 @@ class SSDDevice:
         self.buffer = PingPongBuffer(self.config.data_buffer)
         self.host = HostInterface(self.config.host_bandwidth)
         self.clock = 0.0
+        # If fault injection is live, wire its RBER wear axis to the FTL's
+        # per-block erase ledger (the ground truth for P/E cycling).
+        injector = get_injector()
+        if injector.enabled:
+            injector.bind_wear_source(self.ftl.block_erase_count)
 
     # --- SSD mode ----------------------------------------------------------------
     def host_write(self, logical_pages: Sequence[int]) -> float:
@@ -91,7 +97,7 @@ class SSDDevice:
         commands = []
         for lpa in logical_pages:
             address = self.ftl.write(lpa)
-            commands.append(FlashCommand(CommandKind.PROGRAM, address))
+            commands.append(FlashCommand(CommandKind.PROGRAM, address, self.geometry))
         # L2P table updates hit DRAM (8 B per entry, read-modify-write).
         dram_done = self.dram.write(now, 8 * len(logical_pages))
         finish = max(link_done, dram_done)
@@ -131,7 +137,7 @@ class SSDDevice:
         """
         begin = self.clock if start is None else start
         routed: Dict[int, List[FlashCommand]] = route_commands(
-            (FlashCommand(CommandKind.READ, a) for a in addresses),
+            (FlashCommand(CommandKind.READ, a, self.geometry) for a in addresses),
             len(self.channels),
         )
         pages_per_channel = [0] * len(self.channels)

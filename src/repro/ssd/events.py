@@ -125,6 +125,18 @@ class Resource:
         self.acquisitions += 1
         return start, end
 
+    def block_until(self, time: float) -> None:
+        """Make the resource unavailable before ``time`` (an outage window).
+
+        Unlike :meth:`acquire`, the blocked interval accrues no busy time:
+        the resource is *down*, not working.  A ``time`` in the past is a
+        no-op, so repeated blocking with the same window is idempotent.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot block {self.name} until non-finite {time}")
+        if time > self.free_at:
+            self.free_at = time
+
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` this resource spent busy (0 when idle)."""
         if elapsed <= 0:

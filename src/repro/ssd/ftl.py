@@ -250,7 +250,18 @@ class FlashTranslationLayer:
     def _pop_free_block(self, plane_key: PlaneKey) -> BlockState:
         state = self._plane(plane_key)
         if not state.free_heap:
-            raise CapacityError(f"plane {plane_key} has no free blocks (GC failed)")
+            touched = len(state.blocks)
+            valid = sum(block.valid_pages for block in state.blocks.values())
+            wear = [block.erase_count for block in state.blocks.values()]
+            wear_lo = min(wear) if wear else 0
+            wear_hi = max(wear) if wear else 0
+            raise CapacityError(
+                f"plane {plane_key} has no free blocks (GC failed): "
+                f"{touched}/{self.config.blocks_per_plane} blocks touched, "
+                f"{valid} valid pages pinned, erase counts "
+                f"[{wear_lo}, {wear_hi}], gc_threshold={self.gc_threshold}, "
+                f"op_ratio={self.op_ratio}"
+            )
         _wear, block_index = heapq.heappop(state.free_heap)
         block = state.blocks.get(block_index)
         if block is None:
@@ -338,11 +349,81 @@ class FlashTranslationLayer:
         candidates = [
             block
             for block in state.blocks.values()
-            if block.is_full and block is not state.active
+            if block.is_full
+            and block is not state.active
+            and block.valid_pages < block.pages_per_block
         ]
+        # A fully valid block is never a victim: collecting it reclaims
+        # nothing and consumes exactly the space it frees, so GC would
+        # live-lock shuffling pages at 100% utilization instead of letting
+        # the allocator surface CapacityError.
         if not candidates:
             return None
         return min(candidates, key=lambda block: (block.valid_pages, block.erase_count))
+
+    # --- reliability hooks (scrub/refresh, wear lookup) -------------------------------
+    def block_erase_count(self, address: PhysicalAddress) -> int:
+        """Erase count (P/E cycles) of the block holding ``address``.
+
+        The fault injector binds this as its wear source: RBER grows with
+        P/E cycling, and the FTL's per-block ledger is the ground truth.
+        Untouched blocks have zero wear.
+        """
+        plane_key = (address.channel, address.package, address.die, address.plane)
+        state = self._planes.get(plane_key)
+        if state is None:
+            return 0
+        block = state.blocks.get(address.block)
+        return block.erase_count if block is not None else 0
+
+    def iter_refreshable_blocks(self) -> List[Tuple[PlaneKey, int]]:
+        """Blocks a scrub pass may refresh, in deterministic order.
+
+        A block is refreshable when it is full (no open write pointer),
+        not the plane's active block, and still holds valid pages to
+        migrate.  Sorted by (plane, block) so scrub order never depends on
+        dict iteration.
+        """
+        refreshable: List[Tuple[PlaneKey, int]] = []
+        for plane_key in sorted(self._planes):
+            state = self._planes[plane_key]
+            for block_index in sorted(state.blocks):
+                block = state.blocks[block_index]
+                if block.is_full and block is not state.active and block.valid_pages:
+                    refreshable.append((plane_key, block_index))
+        return refreshable
+
+    def refresh_block(self, plane_key: PlaneKey, block_index: int) -> int:
+        """Migrate a block's valid pages and erase it (scrub/refresh).
+
+        Re-programming rewinds retention for every page the block held, and
+        the erased block re-enters the wear-leveling heap keyed by its new
+        erase count — refresh *is* a targeted GC pass.  Returns the number
+        of pages migrated.
+        """
+        state = self._plane(plane_key)
+        block = state.blocks.get(block_index)
+        if block is None:
+            raise AddressError(
+                f"block {block_index} on plane {plane_key} has never been written"
+            )
+        if block is state.active:
+            raise SimulationError(
+                f"block {block_index} on plane {plane_key} is the active "
+                "append point and cannot be refreshed"
+            )
+        if not block.is_full:
+            raise SimulationError(
+                f"block {block_index} on plane {plane_key} is still open "
+                f"(write pointer {block.write_pointer})"
+            )
+        relocated = block.valid_pages
+        state.in_gc = True
+        try:
+            self._collect_victim(plane_key, state, block)
+        finally:
+            state.in_gc = False
+        return relocated
 
     # --- wear statistics --------------------------------------------------------------
     def wear_stats(self) -> Tuple[int, int, float]:

@@ -88,7 +88,7 @@ class FlashGeometry:
     def to_flat(self, addr: PhysicalAddress) -> int:
         """Convert a structured physical address to a flat page index."""
         cfg = self.config
-        self._check(addr)
+        self.check(addr)
         flat = addr.channel
         flat = flat * cfg.packages_per_channel + addr.package
         flat = flat * cfg.dies_per_package + addr.die
@@ -97,7 +97,13 @@ class FlashGeometry:
         flat = flat * cfg.pages_per_block + addr.page
         return flat
 
-    def _check(self, addr: PhysicalAddress) -> None:
+    def check(self, addr: PhysicalAddress) -> None:
+        """Validate every field of ``addr`` against this geometry's fan-out.
+
+        Raises :class:`AddressError` naming the offending field.  Public so
+        :class:`repro.ssd.controller.FlashCommand` can validate addresses at
+        construction rather than first failing deep inside ``submit``.
+        """
         cfg = self.config
         limits = (
             ("channel", addr.channel, cfg.channels),

@@ -68,15 +68,18 @@ class Die:
         self.programs = 0
         self.erases = 0
 
-    def execute(self, now: float, op: FlashOperation) -> tuple:
+    def execute(self, now: float, op: FlashOperation, extra: float = 0.0) -> tuple:
         """Occupy the die for ``op``; returns the ``(start, end)`` interval.
 
         ``start`` is when the die actually begins (it may be busy with a
         previous operation); ``end`` is when the array operation completes —
         for reads that is when data is ready in the die's page register,
-        before any bus transfer.
+        before any bus transfer.  ``extra`` extends the occupation (ECC
+        soft-decode and read-retry re-sensing happen on the die).
         """
-        start, end = self._resource.acquire(now, self.timing.latency(op))
+        if extra < 0:
+            raise SimulationError(f"negative extra occupation {extra} on die {self.index}")
+        start, end = self._resource.acquire(now, self.timing.latency(op) + extra)
         if op is FlashOperation.READ:
             self.reads += 1
         elif op is FlashOperation.PROGRAM:
@@ -84,6 +87,10 @@ class Die:
         else:
             self.erases += 1
         return start, end
+
+    def block_until(self, time: float) -> None:
+        """Hold the die unavailable before ``time`` (component outage)."""
+        self._resource.block_until(time)
 
     @property
     def busy_time(self) -> float:

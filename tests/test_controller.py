@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import FlashConfig
-from repro.errors import SimulationError
+from repro.errors import AddressError, SimulationError
 from repro.ssd.channel import Channel
 from repro.ssd.controller import (
     CommandKind,
@@ -109,3 +109,58 @@ class TestRouting:
     def test_out_of_range_channel_rejected(self):
         with pytest.raises(SimulationError):
             route_commands([read(5)], channels=2)
+
+
+class TestCommandConstructionValidation:
+    """FlashCommand with a geometry validates its address at construction."""
+
+    def geometry(self) -> FlashGeometry:
+        return FlashGeometry(config())
+
+    def command(self, **overrides):
+        fields = dict(ch=0, pkg=0, die=0, plane=0, block=0, page=0)
+        fields.update(overrides)
+        return FlashCommand(
+            CommandKind.READ,
+            PhysicalAddress(
+                fields["ch"], fields["pkg"], fields["die"],
+                fields["plane"], fields["block"], fields["page"],
+            ),
+            self.geometry(),
+        )
+
+    def test_valid_address_accepted(self):
+        command = self.command(ch=1, pkg=1, die=1, block=3, page=7)
+        assert command.address.channel == 1
+
+    @pytest.mark.parametrize(
+        "overrides,field_name",
+        [
+            (dict(ch=2), "channel"),
+            (dict(pkg=2), "package"),
+            (dict(die=2), "die"),
+            (dict(plane=1), "plane"),
+            (dict(block=4), "block"),
+            (dict(page=8), "page"),
+        ],
+    )
+    def test_out_of_fanout_field_named(self, overrides, field_name):
+        with pytest.raises(AddressError) as excinfo:
+            self.command(**overrides)
+        assert field_name in str(excinfo.value)
+
+    def test_geometry_excluded_from_equality_and_repr(self):
+        bare = FlashCommand(
+            CommandKind.READ, PhysicalAddress(0, 0, 0, 0, 0, 0)
+        )
+        checked = self.command()
+        assert bare == checked
+        assert "geometry" not in repr(checked)
+
+    def test_geometry_free_command_still_validated_at_submit(self):
+        ctrl = make_controller()
+        bad = FlashCommand(
+            CommandKind.READ, PhysicalAddress(0, 0, 0, 0, 99, 0)
+        )
+        with pytest.raises(AddressError):
+            ctrl.submit(0.0, [bad])

@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import FlashConfig
-from repro.errors import AddressError, SimulationError
+from repro.errors import AddressError, CapacityError, SimulationError
 from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.geometry import PhysicalAddress
 
 
 def tiny_config(**overrides) -> FlashConfig:
@@ -163,3 +164,72 @@ class TestPropertyBased:
             assert flat not in flats
             flats.add(flat)
         assert ftl.mapped_pages == len(live)
+
+
+class TestCapacityExhaustion:
+    """The exhausted-plane error carries enough state to diagnose it."""
+
+    def exhaust(self):
+        ftl = FlashTranslationLayer(tiny_config(), gc_threshold=1, op_ratio=0.0)
+        for lpa in ftl.channel_logical_range(0):
+            ftl.write(lpa)
+        with pytest.raises(CapacityError) as excinfo:
+            # Every page is valid, so GC has no victim and the overwrite's
+            # relocation target cannot be allocated.
+            ftl.write(ftl.channel_logical_range(0).start)
+        return ftl, str(excinfo.value)
+
+    def test_overfilled_plane_raises(self):
+        self.exhaust()
+
+    def test_error_reports_plane_state(self):
+        ftl, message = self.exhaust()
+        assert "no free blocks" in message
+        assert f"/{ftl.config.blocks_per_plane} blocks touched" in message
+        assert "valid pages pinned" in message
+        assert "erase counts" in message
+        assert "gc_threshold=1" in message
+        assert "op_ratio=0.0" in message
+
+
+class TestReliabilityHooks:
+    def test_block_erase_count_ground_truth(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        addr = ftl.write(0)
+        assert ftl.block_erase_count(addr) == 0
+        virgin = PhysicalAddress(1, 0, 0, 0, 7, 0)
+        assert ftl.block_erase_count(virgin) == 0
+
+    def test_refreshable_blocks_sorted_and_full(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        for lpa in range(12):
+            ftl.write(lpa)
+        refreshable = ftl.iter_refreshable_blocks()
+        assert refreshable == sorted(refreshable)
+        for plane_key, block_index in refreshable:
+            block = ftl._planes[plane_key].blocks[block_index]
+            assert block.is_full and block.valid_pages > 0
+
+    def test_refresh_preserves_mapping_and_bumps_wear(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        lpas = list(range(12))
+        for lpa in lpas:
+            ftl.write(lpa)
+        refreshable = ftl.iter_refreshable_blocks()
+        assert refreshable
+        plane_key, block_index = refreshable[0]
+        before = ftl._planes[plane_key].blocks[block_index].valid_pages
+        migrated = ftl.refresh_block(plane_key, block_index)
+        assert migrated == before
+        for lpa in lpas:
+            ftl.lookup(lpa)
+        assert ftl._planes[plane_key].blocks[block_index].erase_count >= 1
+
+    def test_refresh_rejects_unwritten_or_open_blocks(self):
+        ftl = FlashTranslationLayer(tiny_config())
+        with pytest.raises(AddressError):
+            ftl.refresh_block((0, 0, 0, 0), 5)
+        ftl.write(0)  # opens (but does not fill) the active block
+        active = ftl._planes[(0, 0, 0, 0)].active
+        with pytest.raises(SimulationError):
+            ftl.refresh_block((0, 0, 0, 0), active.block)
