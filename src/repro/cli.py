@@ -17,6 +17,11 @@ Gives the reproduction a front door that requires no Python:
   replica routing) and print goodput / shed rate / latency percentiles;
 * ``python -m repro faults`` — sweep the fault-injection matrix (RBER scales
   x fault classes) and report top-k retention, latency, and SSD read cost;
+* ``python -m repro profile`` — run an instrumented inference and print the
+  critical-path attribution report (per-resource time, channel balance,
+  transfer interference); ``--out`` writes the JSON form;
+* ``python -m repro perf-diff`` — compare two bench/metrics JSON files under
+  per-metric tolerance bands; exits nonzero on regression;
 * ``python -m repro lint`` — run the reprolint determinism checks
   (``python -m repro.lint`` is the standalone equivalent).
 
@@ -105,11 +110,15 @@ def _replay_flash_commands(session, cap_per_channel: int = 48) -> int:
     return session.tracer.add_command_trace(trace)
 
 
-def _finish_session(session) -> None:
-    """Replay flash slices, write configured outputs, restore recorders."""
+def _finish_session(session, replay_flash: bool = True) -> None:
+    """Replay flash slices, write configured outputs, restore recorders.
+
+    ``replay_flash=False`` skips the synthetic flash replay for commands
+    (like ``serve``) whose telemetry has no per-channel page story to tell.
+    """
     if session is None:
         return
-    if session.tracer.enabled:
+    if replay_flash and session.tracer.enabled:
         _replay_flash_commands(session)
     for path in session.flush():
         print(f"wrote {path}")
@@ -323,7 +332,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rate = args.rate if args.rate is not None else capacity
     num_queries = max(1, int(round(rate * args.duration)))
     arrivals = poisson_arrivals(rate, num_queries, seed=args.seed)
-    report = simulator.run(arrivals)
+    # The session brackets only the serving run, so the exported telemetry
+    # carries batch/shed spans without the calibration sweep's tile spans.
+    session = _session_from_args(args)
+    try:
+        report = simulator.run(arrivals)
+    finally:
+        _finish_session(session, replay_flash=False)
 
     summary = report.to_dict()
     rows = [
@@ -345,6 +360,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  f"(mean size {report.mean_batch_size:.1f}, "
                  f"knee {service.knee})"])
     rows.append(["max degrade level", str(report.max_degrade_level)])
+    if session is not None:
+        waits = session.registry.histogram(
+            "serve_queue_wait_seconds",
+            "time each request waited in queue before dispatch",
+        ).quantiles_or_none()
+        if waits is not None:
+            rows.append([
+                "queue wait p50/p99",
+                f"{format_seconds(waits['p50'])} / "
+                f"{format_seconds(waits['p99'])}",
+            ])
     print(render_table(
         ["quantity", "value"], rows,
         title=f"Serving {args.benchmark}: {args.shards} shards x "
@@ -413,12 +439,83 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         title=f"Fault matrix: {report.num_labels} labels, "
               f"{report.queries} queries, seed {report.seed}",
     ))
+    if session is not None:
+        tiles = session.registry.histogram(
+            "ecssd_tile_latency_seconds",
+            "steady-state cost of one pipeline tile",
+        ).quantiles_or_none()
+        if tiles is not None:
+            print(
+                f"tile latency p50/p95/p99 across the matrix: "
+                f"{format_seconds(tiles['p50'])} / "
+                f"{format_seconds(tiles['p95'])} / "
+                f"{format_seconds(tiles['p99'])}"
+            )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Instrumented inference + critical-path attribution over its trace."""
+    import json
+
+    from . import obs
+    from .core.api import ECSSD
+    from .obs.profile import profile_trace
+    from .workloads.synthetic import make_workload
+
+    # Recorders live in memory; outputs (if any) flow through the usual
+    # session flush.  The report itself is computed before uninstall so it
+    # can read the session's registry.
+    session = _session_from_args(args) or obs.configure(None)
+    try:
+        workload = make_workload(
+            num_labels=args.labels, hidden_dim=256, num_queries=48, seed=args.seed
+        )
+        device = ECSSD()
+        device.ecssd_enable()
+        device.weight_deploy(workload.weights, train_features=workload.features[:32])
+        device.int4_input_send(workload.features[32:40])
+        device.cfp32_input_send(device.pre_align(workload.features[32:40]))
+        device.int4_screen()
+        if session.tracer.enabled:
+            _replay_flash_commands(session)
+        report = profile_trace(session.tracer.spans, session.registry)
+    finally:
+        _finish_session(session, replay_flash=False)
+    print(report.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    """Compare two metrics JSON files; exit nonzero on regression."""
+    import json
+
+    from .obs.perfdiff import diff_files, parse_tolerance_spec
+
+    extra = tuple(parse_tolerance_spec(spec) for spec in args.tolerance)
+    report = diff_files(
+        args.baseline,
+        args.candidate,
+        extra_tolerances=extra,
+        default_rel_tol=args.default_rel_tol,
+    )
+    print(report.render(show_ok=args.show_ok))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return report.exit_code
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -534,7 +631,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", default=None, help="write the run summary as JSON"
     )
+    _add_observability_flags(serve)
     _add_verbose(serve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an instrumented inference and print its critical-path "
+             "attribution",
+    )
+    profile.add_argument("--labels", type=int, default=4096)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument(
+        "--out", default=None,
+        help="write the attribution report as JSON (sim-clock only: "
+             "byte-identical for a given seed)",
+    )
+    _add_observability_flags(profile)
+    _add_verbose(profile)
+
+    perf_diff = sub.add_parser(
+        "perf-diff",
+        help="compare two bench/metrics JSON files; exit nonzero on regression",
+    )
+    perf_diff.add_argument("baseline", help="baseline metrics JSON path")
+    perf_diff.add_argument("candidate", help="candidate metrics JSON path")
+    perf_diff.add_argument(
+        "--tolerance", action="append", default=[], metavar="PATTERN=REL[:DIR]",
+        help="extra tolerance band (first match wins; DIR is higher_is_worse, "
+             "lower_is_worse, or both)",
+    )
+    perf_diff.add_argument(
+        "--default-rel-tol", type=float, default=0.05,
+        help="band for metrics no tolerance pattern matches",
+    )
+    perf_diff.add_argument(
+        "--show-ok", action="store_true",
+        help="also print metrics that stayed within their bands",
+    )
+    perf_diff.add_argument(
+        "--out", default=None, help="write the diff report as JSON"
+    )
+    _add_verbose(perf_diff)
 
     faults = sub.add_parser(
         "faults", help="sweep the fault-injection matrix (RBER x fault class)"
@@ -581,6 +718,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "serve": _cmd_serve,
         "faults": _cmd_faults,
+        "profile": _cmd_profile,
+        "perf-diff": _cmd_perf_diff,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

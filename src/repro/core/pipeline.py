@@ -282,47 +282,61 @@ class TilePipelineModel:
         if tracer.enabled:
             name = f"tile{index}"
             end = cursor + timing.cost
-            tracer.add_span(
-                name,
-                cursor,
-                end,
-                track=PIPELINE_TRACK,
-                attrs={
-                    "index": index,
-                    "candidates": tile.candidates,
-                    "fp32_pages": timing.fp32_total_pages,
-                    "fp32_max_pages": timing.fp32_max_pages,
-                },
+            tile_attrs = {
+                "index": index,
+                "candidates": tile.candidates,
+                "fp32_pages": timing.fp32_total_pages,
+                "fp32_max_pages": timing.fp32_max_pages,
+            }
+            # Resource tags for the critical-path profiler: where each phase
+            # physically runs under this feature set.
+            int4_fetch_resource = (
+                "dram" if self.features.heterogeneous else "flash"
             )
+            if self.features.overlap and not self.features.heterogeneous:
+                # Homogeneous shared-channel fetch: record the §4.3 penalty
+                # seconds actually paid beyond the additive page counts.
+                tile_attrs["interference_penalty_s"] = timing.fp32_fetch * (
+                    1.0 - 1.0 / self.interference_penalty
+                )
+            tracer.add_span(name, cursor, end, track=PIPELINE_TRACK,
+                            attrs=tile_attrs)
             if self.features.overlap:
                 # Dual-module layout: both sides start with the tile window;
                 # within a side, fetch streams underneath compute.
                 tracer.add_span(
                     f"{name}/int4_fetch", cursor, cursor + timing.int4_fetch,
                     track=INT4_TRACK,
+                    attrs={"resource": int4_fetch_resource},
                 )
                 tracer.add_span(
                     f"{name}/int4_compute", cursor, cursor + timing.int4_compute,
-                    track=INT4_TRACK,
+                    track=INT4_TRACK, attrs={"resource": "int4-acc"},
                 )
                 tracer.add_span(
                     f"{name}/fp32_fetch", cursor, cursor + timing.fp32_fetch,
-                    track=FP32_TRACK,
+                    track=FP32_TRACK, attrs={"resource": "flash"},
                 )
                 tracer.add_span(
                     f"{name}/fp32_compute", cursor, cursor + timing.fp32_compute,
-                    track=FP32_TRACK,
+                    track=FP32_TRACK, attrs={"resource": "fp32-acc"},
                 )
             else:
                 # Serial phases: lay them end to end inside the tile window.
                 t = cursor
-                for phase, duration, track in (
-                    ("int4_fetch", timing.int4_fetch, INT4_TRACK),
-                    ("int4_compute", timing.int4_compute, INT4_TRACK),
-                    ("fp32_fetch", timing.fp32_fetch, FP32_TRACK),
-                    ("fp32_compute", timing.fp32_compute, FP32_TRACK),
+                for phase, duration, track, resource in (
+                    ("int4_fetch", timing.int4_fetch, INT4_TRACK,
+                     int4_fetch_resource),
+                    ("int4_compute", timing.int4_compute, INT4_TRACK,
+                     "int4-acc"),
+                    ("fp32_fetch", timing.fp32_fetch, FP32_TRACK, "flash"),
+                    ("fp32_compute", timing.fp32_compute, FP32_TRACK,
+                     "fp32-acc"),
                 ):
-                    tracer.add_span(f"{name}/{phase}", t, t + duration, track=track)
+                    tracer.add_span(
+                        f"{name}/{phase}", t, t + duration, track=track,
+                        attrs={"resource": resource},
+                    )
                     t += duration
 
     # --- run-level aggregation -------------------------------------------------------------
@@ -349,6 +363,7 @@ class TilePipelineModel:
         count = 0
         timings: List[TileTiming] = []
         fill = 0.0
+        fill_resource = "int4-acc"
         for tile in tiles:
             timing = self.tile_timing(tile)
             if observing:
@@ -360,6 +375,10 @@ class TilePipelineModel:
             if count == 1 and self.features.overlap:
                 # Pipeline fill: the first tile's INT4 side cannot hide.
                 fill = max(timing.int4_fetch, timing.int4_compute)
+                if timing.int4_fetch > timing.int4_compute:
+                    fill_resource = (
+                        "dram" if self.features.heterogeneous else "flash"
+                    )
             if keep_timings:
                 timings.append(timing)
         if count == 0:
@@ -381,6 +400,7 @@ class TilePipelineModel:
                 attrs={
                     "sense_fill": self.config.flash.read_latency,
                     "pipeline_fill": fill,
+                    "fill_resource": fill_resource,
                     "host_time": host_time,
                 },
             )

@@ -48,11 +48,23 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.cli",
     "repro.serve",
     "repro.faults",
+    # Post-processing analyses over recorded telemetry: they consume the
+    # simulated clock only, so they live under the same contract as the
+    # simulator proper.
+    "repro.obs.profile",
+    "repro.obs.health",
+    "repro.obs.perfdiff",
 )
 
-#: Packages allowed to read the wall clock (telemetry measures real time by
-#: design) or that must talk about banned names (this linter).
-WALL_CLOCK_EXEMPT: Tuple[str, ...] = ("repro.obs", "repro.lint")
+#: Modules allowed to read the wall clock (the span recorder and metrics
+#: registry measure real time by design) or that must talk about banned
+#: names (this linter).  Deliberately narrower than ``repro.obs``: the
+#: profiler/health/perf-diff analyses are sim-clock-only and stay in scope.
+WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.lint",
+)
 
 
 # --------------------------------------------------------------------------

@@ -42,6 +42,14 @@ from .export import (
     write_jsonl,
     write_prometheus,
 )
+from .health import (
+    AlertEvent,
+    BurnRatePolicy,
+    HealthReport,
+    SloObjective,
+    burn_rate_series,
+    evaluate_serving_health,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -50,6 +58,21 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     NULL_REGISTRY,
+)
+from .perfdiff import (
+    PerfDiffReport,
+    Tolerance,
+    diff_files,
+    diff_metrics,
+    flatten_metrics,
+)
+from .profile import (
+    ChannelBalance,
+    InterferenceStats,
+    ProfileReport,
+    ResourceProfile,
+    TileAttribution,
+    profile_trace,
 )
 from .tracing import (
     CLUSTER_TRACK,
@@ -94,6 +117,23 @@ __all__ = [
     "command_trace_events",
     "spans_to_chrome_events",
     "spans_from_command_trace",
+    "profile_trace",
+    "ProfileReport",
+    "TileAttribution",
+    "ResourceProfile",
+    "ChannelBalance",
+    "InterferenceStats",
+    "evaluate_serving_health",
+    "burn_rate_series",
+    "HealthReport",
+    "AlertEvent",
+    "SloObjective",
+    "BurnRatePolicy",
+    "diff_files",
+    "diff_metrics",
+    "flatten_metrics",
+    "PerfDiffReport",
+    "Tolerance",
     "PIPELINE_TRACK",
     "INT4_TRACK",
     "FP32_TRACK",

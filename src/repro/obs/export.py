@@ -75,10 +75,17 @@ def write_jsonl(
 
 
 # --- Prometheus text exposition ---------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Iterable, extra: Optional[Dict[str, str]] = None) -> str:
-    pairs = [f'{k}="{v}"' for k, v in labels]
+    pairs = [f'{k}="{_escape_label_value(str(v))}"' for k, v in labels]
     for k, v in (extra or {}).items():
-        pairs.append(f'{k}="{v}"')
+        pairs.append(f'{k}="{_escape_label_value(str(v))}"')
     return "{" + ",".join(pairs) + "}" if pairs else ""
 
 

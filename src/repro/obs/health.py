@@ -1,0 +1,342 @@
+"""SLO health monitoring: burn-rate windows and alert rules for repro.serve.
+
+Turns one :class:`~repro.serve.request.ServingReport` into a deterministic
+alert timeline, the way an SRE pager would have seen the run:
+
+* **Multi-window burn rate** (Google SRE style): the error budget is
+  ``1 - objective.target`` of requests allowed to miss the SLO; the burn
+  rate is the budget-normalized bad fraction over a rolling sim-time window.
+  A :class:`BurnRatePolicy` pages only when *both* a fast window (is it
+  happening right now?) and a slow window (has it been happening long enough
+  to matter?) exceed the threshold — a one-batch blip cannot page, and a
+  sustained breach cannot hide behind a momentary recovery.
+* **Threshold rules**: rolling shed rate, degradation-ladder level at each
+  dispatch, and (when a fault signal is supplied) the
+  :meth:`~repro.faults.injector.FaultInjector.fault_pressure` reading.
+
+Everything is a pure function of the report (plus the optional fault
+signal): same input, byte-identical :class:`HealthReport`.  All timestamps
+are simulated seconds; the monitor never reads wall time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Alert rule names (stable identifiers in the exported timeline).
+RULE_BURN_RATE = "burn-rate"
+RULE_SHED_RATE = "shed-rate"
+RULE_DEGRADE_LEVEL = "degrade-level"
+RULE_FAULT_PRESSURE = "fault-pressure"
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """The availability target the burn rate is measured against."""
+
+    target: float = 0.999  # fraction of requests that must meet the deadline
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the fraction of requests allowed to fail."""
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """Fast/slow multi-window burn-rate paging rule.
+
+    ``None`` windows default to multiples of the run's SLO: the fast window
+    to ``5 x slo`` (a few batch rounds) and the slow window to ``25 x slo``.
+    """
+
+    threshold: float = 2.0  # paging burn rate (1.0 = exactly on budget)
+    fast_window_s: Optional[float] = None
+    slow_window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ConfigurationError("burn-rate threshold must be positive")
+        for window in (self.fast_window_s, self.slow_window_s):
+            if window is not None and window <= 0:
+                raise ConfigurationError("burn-rate windows must be positive")
+
+    def resolve_windows(self, slo: float) -> Tuple[float, float]:
+        fast = self.fast_window_s if self.fast_window_s is not None else 5 * slo
+        slow = self.slow_window_s if self.slow_window_s is not None else 25 * slo
+        if fast > slow:
+            raise ConfigurationError(
+                f"fast window {fast} exceeds slow window {slow}"
+            )
+        return fast, slow
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One state transition of one rule (``fire`` or ``resolve``)."""
+
+    time: float
+    rule: str
+    kind: str  # "fire" | "resolve"
+    value: float  # the reading that caused the transition
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time_s": self.time,
+            "rule": self.rule,
+            "kind": self.kind,
+            "value": self.value,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """The deterministic outcome of one health evaluation."""
+
+    objective: SloObjective
+    slo: float
+    alerts: List[AlertEvent] = field(default_factory=list)
+    peak_burn_fast: float = 0.0
+    peak_burn_slow: float = 0.0
+    peak_shed_rate: float = 0.0
+    peak_degrade_level: int = 0
+    peak_fault_pressure: float = 0.0
+
+    @property
+    def fired(self) -> bool:
+        return any(a.kind == "fire" for a in self.alerts)
+
+    def fired_rules(self) -> List[str]:
+        seen: List[str] = []
+        for alert in self.alerts:
+            if alert.kind == "fire" and alert.rule not in seen:
+                seen.append(alert.rule)
+        return seen
+
+    def pages(self, rule: str) -> List[AlertEvent]:
+        return [a for a in self.alerts if a.rule == rule]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objective_target": self.objective.target,
+            "slo_s": self.slo,
+            "fired": self.fired,
+            "fired_rules": self.fired_rules(),
+            "alerts": [a.to_dict() for a in self.alerts],
+            "peak_burn_fast": self.peak_burn_fast,
+            "peak_burn_slow": self.peak_burn_slow,
+            "peak_shed_rate": self.peak_shed_rate,
+            "peak_degrade_level": self.peak_degrade_level,
+            "peak_fault_pressure": self.peak_fault_pressure,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"SLO health: target {self.objective.target:.3%}, "
+            f"peak burn fast/slow {self.peak_burn_fast:.1f}x/"
+            f"{self.peak_burn_slow:.1f}x, peak shed {self.peak_shed_rate:.1%}, "
+            f"peak degrade level {self.peak_degrade_level}, "
+            f"peak fault pressure {self.peak_fault_pressure:.2f}"
+        ]
+        if not self.alerts:
+            lines.append("alerts: none (healthy)")
+        for alert in self.alerts:
+            lines.append(
+                f"  {alert.time * 1e3:10.3f} ms  {alert.kind:<7} "
+                f"{alert.rule}  value={alert.value:.3f}  {alert.detail}"
+            )
+        return "\n".join(lines)
+
+
+class _RuleTracker:
+    """Turns a sampled boolean condition into fire/resolve transitions."""
+
+    def __init__(self, rule: str) -> None:
+        self.rule = rule
+        self.active = False
+        self.events: List[AlertEvent] = []
+
+    def sample(
+        self, time: float, breaching: bool, value: float, detail: str = ""
+    ) -> None:
+        if breaching and not self.active:
+            self.active = True
+            self.events.append(
+                AlertEvent(time, self.rule, "fire", value, detail)
+            )
+        elif not breaching and self.active:
+            self.active = False
+            self.events.append(
+                AlertEvent(time, self.rule, "resolve", value, detail)
+            )
+
+
+class _RollingCounts:
+    """Bad/total event counts over a rolling window, via sorted timestamps."""
+
+    def __init__(
+        self, times: Sequence[float], bad_times: Sequence[float]
+    ) -> None:
+        self.times = list(times)  # sorted
+        self.bad_times = list(bad_times)  # sorted
+
+    def window(self, now: float, width: float) -> Tuple[int, int]:
+        """(bad, total) event counts in ``(now - width, now]``."""
+        lo = now - width
+        total = bisect_right(self.times, now) - bisect_right(self.times, lo)
+        bad = bisect_right(self.bad_times, now) - bisect_right(
+            self.bad_times, lo
+        )
+        return bad, total
+
+    def bad_fraction(self, now: float, width: float) -> float:
+        bad, total = self.window(now, width)
+        return bad / total if total else 0.0
+
+
+def evaluate_serving_health(
+    report: Any,
+    objective: SloObjective = SloObjective(),
+    burn_policy: BurnRatePolicy = BurnRatePolicy(),
+    shed_rate_threshold: float = 0.05,
+    degrade_level_threshold: int = 3,
+    fault_signal: Optional[Callable[[float], float]] = None,
+    fault_pressure_threshold: float = 0.5,
+) -> HealthReport:
+    """Evaluate one serving run's health into an alert timeline.
+
+    ``report`` is duck-typed on :class:`~repro.serve.request.ServingReport`
+    (``slo``, ``completed``, ``shed``, ``batches``).  Rules are sampled at
+    every request outcome (completion or shed, in time order) and at every
+    batch dispatch, so the timeline is a deterministic function of the run.
+    """
+    if shed_rate_threshold <= 0 or shed_rate_threshold > 1:
+        raise ConfigurationError("shed_rate_threshold must be in (0, 1]")
+    if degrade_level_threshold < 0:
+        raise ConfigurationError("degrade_level_threshold cannot be negative")
+    slo = float(report.slo)
+    fast_window, slow_window = burn_policy.resolve_windows(slo)
+
+    # Outcome stream: every request leaves the layer exactly once, either at
+    # its completion (good iff within deadline) or when it is shed (bad).
+    outcomes: List[Tuple[float, bool, int]] = []
+    for record in report.completed:
+        outcomes.append(
+            (float(record.completion), bool(record.within_deadline),
+             int(record.request.request_id))
+        )
+    for record in report.shed:
+        outcomes.append(
+            (float(record.shed_time), False, int(record.request.request_id))
+        )
+    outcomes.sort(key=lambda item: (item[0], item[2]))
+
+    times = [t for t, _good, _rid in outcomes]
+    bad_times = [t for t, good, _rid in outcomes if not good]
+    shed_times = sorted(float(r.shed_time) for r in report.shed)
+    slo_counts = _RollingCounts(times, bad_times)
+    shed_counts = _RollingCounts(times, shed_times)
+
+    result = HealthReport(objective=objective, slo=slo)
+    burn = _RuleTracker(RULE_BURN_RATE)
+    shed_rule = _RuleTracker(RULE_SHED_RATE)
+    fault_rule = _RuleTracker(RULE_FAULT_PRESSURE)
+    budget = objective.budget
+    for now, _good, _rid in outcomes:
+        fast_burn = slo_counts.bad_fraction(now, fast_window) / budget
+        slow_burn = slo_counts.bad_fraction(now, slow_window) / budget
+        result.peak_burn_fast = max(result.peak_burn_fast, fast_burn)
+        result.peak_burn_slow = max(result.peak_burn_slow, slow_burn)
+        breaching = (
+            fast_burn >= burn_policy.threshold
+            and slow_burn >= burn_policy.threshold
+        )
+        burn.sample(
+            now,
+            breaching,
+            min(fast_burn, slow_burn),
+            f"fast {fast_burn:.1f}x / slow {slow_burn:.1f}x over "
+            f"budget {budget:.2%}",
+        )
+        shed_fraction = shed_counts.bad_fraction(now, slow_window)
+        result.peak_shed_rate = max(result.peak_shed_rate, shed_fraction)
+        shed_rule.sample(
+            now,
+            shed_fraction >= shed_rate_threshold,
+            shed_fraction,
+            f"rolling shed rate over {slow_window * 1e3:.1f} ms window",
+        )
+        if fault_signal is not None:
+            pressure = float(fault_signal(now))
+            result.peak_fault_pressure = max(
+                result.peak_fault_pressure, pressure
+            )
+            fault_rule.sample(
+                now,
+                pressure >= fault_pressure_threshold,
+                pressure,
+                "device fault pressure",
+            )
+
+    degrade_rule = _RuleTracker(RULE_DEGRADE_LEVEL)
+    for batch in sorted(report.batches, key=lambda b: (b.start, b.replica)):
+        level = int(batch.degrade_level)
+        result.peak_degrade_level = max(result.peak_degrade_level, level)
+        degrade_rule.sample(
+            float(batch.start),
+            level >= degrade_level_threshold,
+            float(level),
+            f"ladder level at dispatch (threshold {degrade_level_threshold})",
+        )
+
+    alerts = burn.events + shed_rule.events + degrade_rule.events
+    alerts += fault_rule.events
+    alerts.sort(key=lambda a: (a.time, a.rule, a.kind))
+    result.alerts = alerts
+    return result
+
+
+def burn_rate_series(
+    report: Any,
+    window_s: float,
+    objective: SloObjective = SloObjective(),
+) -> List[Tuple[float, float]]:
+    """(time, burn rate) samples at each request outcome — for plotting.
+
+    A convenience view over the same rolling computation
+    :func:`evaluate_serving_health` uses; deterministic for a given report.
+    """
+    if window_s <= 0:
+        raise ConfigurationError("window must be positive")
+    outcomes: List[Tuple[float, bool, int]] = []
+    for record in report.completed:
+        outcomes.append(
+            (float(record.completion), bool(record.within_deadline),
+             int(record.request.request_id))
+        )
+    for record in report.shed:
+        outcomes.append(
+            (float(record.shed_time), False, int(record.request.request_id))
+        )
+    outcomes.sort(key=lambda item: (item[0], item[2]))
+    counts = _RollingCounts(
+        [t for t, _g, _r in outcomes],
+        [t for t, g, _r in outcomes if not g],
+    )
+    budget = objective.budget
+    return [
+        (now, counts.bad_fraction(now, window_s) / budget)
+        for now, _good, _rid in outcomes
+    ]

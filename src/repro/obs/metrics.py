@@ -214,6 +214,18 @@ class Histogram(_Instrument):
             "p99": self.percentile(99.0, **labels),
         }
 
+    def quantiles_or_none(self, **labels: object) -> Optional[Dict[str, float]]:
+        """:meth:`quantiles`, or ``None`` when nothing was observed.
+
+        Reporting paths summarize histograms that may legitimately be empty
+        (a run that shed everything, a fault class that never fired); this
+        keeps them free of try/except around :meth:`percentile`.
+        """
+        state = self._states.get(_label_key(labels))
+        if state is None or state.count == 0:
+            return None
+        return self.quantiles(**labels)
+
     def samples(self) -> List[Tuple[LabelKey, float]]:
         """(labels, sum) pairs — bucket detail is exporter-specific."""
         with self._lock:
@@ -306,6 +318,9 @@ class _NullInstrument:
 
     def samples(self) -> List[Tuple[LabelKey, float]]:
         return []
+
+    def quantiles_or_none(self, **labels: object) -> None:
+        return None
 
 
 _NULL_INSTRUMENT = _NullInstrument()

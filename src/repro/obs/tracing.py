@@ -210,8 +210,20 @@ class Tracer:
                 seen.append(record.track)
         return seen
 
-    def find(self, name_prefix: str) -> List[SpanRecord]:
-        return [s for s in self.spans if s.name.startswith(name_prefix)]
+    def find(
+        self, name_prefix: str, track: Optional[str] = None
+    ) -> List[SpanRecord]:
+        """Spans whose name starts with ``name_prefix``.
+
+        ``track`` additionally restricts matches to one track (exact match),
+        so ``find("tile3/", track=FP32_TRACK)`` picks one tile's FP32 phases
+        out of a trace that reuses the name prefix across tracks.
+        """
+        return [
+            s for s in self.spans
+            if s.name.startswith(name_prefix)
+            and (track is None or s.track == track)
+        ]
 
     def clear(self) -> None:
         self.spans.clear()
@@ -261,7 +273,9 @@ class NullTracer:
     def tracks(self) -> List[str]:
         return []
 
-    def find(self, name_prefix: str) -> List[SpanRecord]:
+    def find(
+        self, name_prefix: str, track: Optional[str] = None
+    ) -> List[SpanRecord]:
         return []
 
     def clear(self) -> None:
@@ -284,19 +298,29 @@ def spans_from_command_trace(events: Iterable) -> List[SpanRecord]:
     records: List[SpanRecord] = []
     for event in events:
         kind = getattr(event.kind, "value", str(event.kind))
+        attrs: Dict[str, object] = {
+            "sequence": event.sequence,
+            "channel": event.channel,
+            "package": event.package,
+            "die": event.die,
+            "kind": kind,
+        }
+        # Phase decomposition (TraceEvents recorded before the profiler
+        # existed, or hand-built ones, default to zero and are skipped).
+        queue = getattr(event, "queue_time", 0.0)
+        service = getattr(event, "service_time", 0.0)
+        transfer = getattr(event, "transfer_time", 0.0)
+        if queue or service or transfer:
+            attrs["queue_s"] = queue
+            attrs["service_s"] = service
+            attrs["transfer_s"] = transfer
         records.append(
             SpanRecord(
                 name=f"{kind} p{event.package}d{event.die}",
                 track=f"{FLASH_TRACK_PREFIX}{event.channel}",
                 sim_start=event.submit_time,
                 sim_end=event.finish_time,
-                attrs={
-                    "sequence": event.sequence,
-                    "channel": event.channel,
-                    "package": event.package,
-                    "die": event.die,
-                    "kind": kind,
-                },
+                attrs=attrs,
             )
         )
     return records

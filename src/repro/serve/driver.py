@@ -180,7 +180,14 @@ class ServingSimulator:
                 registry.counter(
                     "serve_batches_total", "batches dispatched by the serving layer"
                 ).inc(level=level, replica=replica.index)
+                wait_histogram = registry.histogram(
+                    "serve_queue_wait_seconds",
+                    "time each request waited in queue before dispatch",
+                )
+                for request in batch:
+                    wait_histogram.observe(now - request.arrival)
             if tracer.enabled:
+                waits = [now - request.arrival for request in batch]
                 tracer.add_span(
                     f"batch{len(batches)}",
                     now,
@@ -190,6 +197,8 @@ class ServingSimulator:
                         "size": len(batch),
                         "level": level,
                         "replica": replica.index,
+                        "queue_wait_max": max(waits),
+                        "queue_wait_mean": sum(waits) / len(waits),
                     },
                 )
             batches.append(

@@ -8,12 +8,27 @@ other dies on the channel can sense in parallel but cannot transfer.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, NamedTuple, Tuple
 
 from ..config import FlashConfig
 from ..errors import SimulationError
 from .events import Resource
 from .nand import Die, FlashOperation, NandTiming
+
+
+class OpPhases(NamedTuple):
+    """Phase decomposition of the channel's most recent operation.
+
+    ``queue`` is time spent waiting for a busy die or bus, ``service`` is
+    array time (sense / program / erase, including any ECC extension), and
+    ``transfer`` is bus data movement.  Purely observational — recorded for
+    the profiler's queueing-vs-service-vs-transfer attribution and never read
+    back by the timing model.
+    """
+
+    queue: float
+    service: float
+    transfer: float
 
 
 class Channel:
@@ -30,6 +45,7 @@ class Channel:
         ]
         self.pages_transferred = 0
         self.bytes_transferred = 0
+        self.last_op_phases = OpPhases(0.0, 0.0, 0.0)
 
     # --- scheduling -----------------------------------------------------------
     def read_page(
@@ -46,6 +62,11 @@ class Channel:
         die = self._die(die_index)
         _sense_start, sense_end = die.execute(now, FlashOperation.READ, extra_sense)
         _bus_start, bus_end = self.bus.acquire(sense_end, self.page_transfer_time)
+        self.last_op_phases = OpPhases(
+            queue=(_sense_start - now) + (_bus_start - sense_end),
+            service=sense_end - _sense_start,
+            transfer=bus_end - _bus_start,
+        )
         self.pages_transferred += 1
         self.bytes_transferred += self.config.page_size
         return _sense_start, bus_end
@@ -55,6 +76,11 @@ class Channel:
         die = self._die(die_index)
         _bus_start, bus_end = self.bus.acquire(now, self.page_transfer_time)
         start, end = die.execute(bus_end, FlashOperation.PROGRAM)
+        self.last_op_phases = OpPhases(
+            queue=(_bus_start - now) + (start - bus_end),
+            service=end - start,
+            transfer=bus_end - _bus_start,
+        )
         self.pages_transferred += 1
         self.bytes_transferred += self.config.page_size
         return _bus_start, end
@@ -62,7 +88,11 @@ class Channel:
     def erase_block(self, now: float, die_index: int) -> Tuple[float, float]:
         """Schedule a block erase on ``die_index`` (no bus data phase)."""
         die = self._die(die_index)
-        return die.execute(now, FlashOperation.ERASE)
+        start, end = die.execute(now, FlashOperation.ERASE)
+        self.last_op_phases = OpPhases(
+            queue=start - now, service=end - start, transfer=0.0
+        )
+        return start, end
 
     def block_until(self, time: float) -> None:
         """Hold the whole channel (bus and dies) down before ``time``.
@@ -93,6 +123,7 @@ class Channel:
             die.reset()
         self.pages_transferred = 0
         self.bytes_transferred = 0
+        self.last_op_phases = OpPhases(0.0, 0.0, 0.0)
 
     def _die(self, die_index: int) -> Die:
         if not (0 <= die_index < len(self.dies)):

@@ -100,6 +100,14 @@ class FlashController:
         kind_counts: Optional[Dict[CommandKind, int]] = (
             {} if registry.enabled else None
         )
+        latency_histogram = (
+            registry.histogram(
+                "flash_command_latency_seconds",
+                "per-command flash latency, by channel and kind",
+            )
+            if registry.enabled
+            else None
+        )
         start = now
         finish = now
         issue_time = now
@@ -132,6 +140,12 @@ class FlashController:
             count += 1
             if kind_counts is not None:
                 kind_counts[command.kind] = kind_counts.get(command.kind, 0) + 1
+            if latency_histogram is not None:
+                latency_histogram.observe(
+                    end - issue_time,
+                    channel=self.channel.index,
+                    kind=command.kind.value,
+                )
         self.commands_issued += count
         if kind_counts:
             counter = registry.counter(

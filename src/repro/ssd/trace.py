@@ -19,7 +19,13 @@ from .controller import BatchResult, CommandKind, FlashCommand, FlashController
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One flash command's lifetime."""
+    """One flash command's lifetime.
+
+    ``queue_time`` / ``service_time`` / ``transfer_time`` decompose the
+    latency for the critical-path profiler: waiting (busy die or bus,
+    firmware overhead, fault stalls) vs. array time vs. bus data movement.
+    They default to zero so pre-existing hand-built events stay valid.
+    """
 
     sequence: int
     channel: int
@@ -28,6 +34,9 @@ class TraceEvent:
     kind: CommandKind
     submit_time: float
     finish_time: float
+    queue_time: float = 0.0
+    service_time: float = 0.0
+    transfer_time: float = 0.0
 
     @property
     def latency(self) -> float:
@@ -194,6 +203,13 @@ class TracingController:
         finish = now
         for command in batch:
             result = self.controller.submit(start, [command])
+            # The wrapped controller issued exactly one command, so the
+            # channel's last-op phase record describes it; any remaining
+            # latency (firmware overhead, fault stalls) is queueing.
+            phases = self.controller.channel.last_op_phases
+            service = phases.service
+            transfer = phases.transfer
+            queue = max(0.0, (result.finish - start) - service - transfer)
             self.trace.append(
                 TraceEvent(
                     sequence=self._sequence,
@@ -203,6 +219,9 @@ class TracingController:
                     kind=command.kind,
                     submit_time=start,
                     finish_time=result.finish,
+                    queue_time=queue,
+                    service_time=service,
+                    transfer_time=transfer,
                 )
             )
             self._sequence += 1

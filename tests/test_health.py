@@ -1,0 +1,238 @@
+"""Tests for the SLO health monitor (repro.obs.health)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.health import (
+    RULE_BURN_RATE,
+    RULE_DEGRADE_LEVEL,
+    RULE_FAULT_PRESSURE,
+    RULE_SHED_RATE,
+    BurnRatePolicy,
+    SloObjective,
+    burn_rate_series,
+    evaluate_serving_health,
+)
+from repro.serve.request import (
+    BatchRecord,
+    CompletedRequest,
+    Request,
+    ServingReport,
+    ShedRequest,
+)
+
+SLO = 0.010  # 10 ms
+
+
+def _completed(request_id, arrival, latency, slo=SLO, level=0):
+    request = Request(
+        request_id=request_id, arrival=arrival, deadline=arrival + slo
+    )
+    return CompletedRequest(
+        request=request,
+        dispatch_time=arrival,
+        completion=arrival + latency,
+        degrade_level=level,
+        replica=0,
+    )
+
+
+def _shed(request_id, time, slo=SLO):
+    request = Request(request_id=request_id, arrival=time, deadline=time + slo)
+    return ShedRequest(request=request, reason="queue_depth", shed_time=time)
+
+
+def _report(completed=(), shed=(), batches=()):
+    return ServingReport(
+        slo=SLO,
+        arrived=len(completed) + len(shed),
+        completed=list(completed),
+        shed=list(shed),
+        batches=list(batches),
+    )
+
+
+class TestBurnRate:
+    def test_healthy_run_raises_no_alerts(self):
+        report = _report(
+            completed=[
+                _completed(i, i * 0.002, latency=0.004) for i in range(50)
+            ]
+        )
+        health = evaluate_serving_health(report)
+        assert not health.fired
+        assert health.alerts == []
+        assert health.peak_burn_fast == 0.0
+
+    def test_sustained_breach_fires_and_resolves(self):
+        # 30 straight deadline misses, then a long healthy tail: the alert
+        # fires while both windows burn and resolves once the slow window
+        # drains.
+        bad = [_completed(i, i * 0.002, latency=0.050) for i in range(30)]
+        good = [
+            _completed(100 + i, 1.0 + i * 0.002, latency=0.004)
+            for i in range(200)
+        ]
+        health = evaluate_serving_health(_report(completed=bad + good))
+        pages = health.pages(RULE_BURN_RATE)
+        kinds = [p.kind for p in pages]
+        assert kinds[0] == "fire"
+        assert "resolve" in kinds
+        assert health.peak_burn_fast >= health.peak_burn_slow > 0
+
+    def test_brief_blip_does_not_page(self):
+        # One miss in a sea of on-time requests: the fast window may spike
+        # but the slow window stays under threshold, so nothing fires.
+        completed = [
+            _completed(i, i * 0.002, latency=0.050 if i == 100 else 0.004)
+            for i in range(400)
+        ]
+        policy = BurnRatePolicy(
+            threshold=2.0, fast_window_s=0.004, slow_window_s=0.400
+        )
+        health = evaluate_serving_health(
+            _report(completed=completed),
+            objective=SloObjective(target=0.99),
+            burn_policy=policy,
+        )
+        assert health.pages(RULE_BURN_RATE) == []
+        assert health.peak_burn_fast > health.peak_burn_slow
+
+    def test_window_defaults_scale_with_slo(self):
+        fast, slow = BurnRatePolicy().resolve_windows(SLO)
+        assert fast == pytest.approx(5 * SLO)
+        assert slow == pytest.approx(25 * SLO)
+
+    def test_inverted_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurnRatePolicy(fast_window_s=1.0, slow_window_s=0.1).resolve_windows(SLO)
+
+    def test_invalid_objective_and_policy(self):
+        with pytest.raises(ConfigurationError):
+            SloObjective(target=1.0)
+        with pytest.raises(ConfigurationError):
+            BurnRatePolicy(threshold=0.0)
+
+    def test_burn_rate_series_tracks_outcomes(self):
+        bad = [_completed(i, i * 0.002, latency=0.050) for i in range(10)]
+        series = burn_rate_series(_report(completed=bad), window_s=0.1)
+        assert len(series) == 10
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+        assert all(rate > 0 for _, rate in series)
+        with pytest.raises(ConfigurationError):
+            burn_rate_series(_report(completed=bad), window_s=0.0)
+
+
+class TestThresholdRules:
+    def test_shed_rate_rule_fires(self):
+        completed = [
+            _completed(i, i * 0.002, latency=0.004) for i in range(20)
+        ]
+        shed = [_shed(100 + i, 0.020 + i * 0.002) for i in range(20)]
+        health = evaluate_serving_health(
+            _report(completed=completed, shed=shed),
+            shed_rate_threshold=0.10,
+        )
+        assert RULE_SHED_RATE in health.fired_rules()
+        assert health.peak_shed_rate >= 0.10
+
+    def test_degrade_rule_samples_batches(self):
+        batches = [
+            BatchRecord(start=0.01 * i, end=0.01 * i + 0.005, size=4,
+                        degrade_level=level, replica=0)
+            for i, level in enumerate([0, 1, 3, 4, 1, 0])
+        ]
+        health = evaluate_serving_health(
+            _report(completed=[_completed(0, 0.0, 0.004)], batches=batches),
+            degrade_level_threshold=3,
+        )
+        pages = health.pages(RULE_DEGRADE_LEVEL)
+        assert [p.kind for p in pages] == ["fire", "resolve"]
+        assert health.peak_degrade_level == 4
+
+    def test_fault_pressure_rule_uses_signal(self):
+        completed = [
+            _completed(i, i * 0.002, latency=0.004) for i in range(10)
+        ]
+        health = evaluate_serving_health(
+            _report(completed=completed),
+            fault_signal=lambda now: 0.9 if now > 0.010 else 0.0,
+            fault_pressure_threshold=0.5,
+        )
+        assert RULE_FAULT_PRESSURE in health.fired_rules()
+        assert health.peak_fault_pressure == pytest.approx(0.9)
+
+    def test_threshold_validation(self):
+        report = _report(completed=[_completed(0, 0.0, 0.004)])
+        with pytest.raises(ConfigurationError):
+            evaluate_serving_health(report, shed_rate_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            evaluate_serving_health(report, degrade_level_threshold=-1)
+
+
+class TestDeterminism:
+    def _noisy_report(self):
+        completed = [
+            _completed(i, i * 0.002, latency=0.050 if i % 7 == 0 else 0.004,
+                       level=i % 3)
+            for i in range(60)
+        ]
+        shed = [_shed(1000 + i, 0.03 + 0.002 * i) for i in range(8)]
+        batches = [
+            BatchRecord(start=0.005 * i, end=0.005 * i + 0.004, size=3,
+                        degrade_level=i % 5, replica=i % 2)
+            for i in range(24)
+        ]
+        return _report(completed=completed, shed=shed, batches=batches)
+
+    def test_same_report_yields_byte_identical_health(self):
+        dumps = [
+            json.dumps(
+                evaluate_serving_health(
+                    self._noisy_report(),
+                    fault_signal=lambda now: min(1.0, now),
+                ).to_dict(),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_alert_timeline_is_time_ordered(self):
+        health = evaluate_serving_health(self._noisy_report())
+        times = [a.time for a in health.alerts]
+        assert times == sorted(times)
+
+    def test_render_is_readable(self):
+        text = evaluate_serving_health(self._noisy_report()).render()
+        assert "SLO health" in text
+        healthy = evaluate_serving_health(
+            _report(completed=[_completed(0, 0.0, 0.004)])
+        ).render()
+        assert "healthy" in healthy
+
+
+class TestAgainstRealServingRun:
+    def test_health_over_driver_output(self):
+        """The monitor consumes a real ServingSimulator report end to end."""
+        from repro.serve import (
+            AffineServiceModel,
+            ServingConfig,
+            build_serving_stack,
+        )
+        from repro.workloads.streams import poisson_arrivals
+
+        service = AffineServiceModel(base=0.002, per_query=0.0005, knee=8)
+        config = ServingConfig(slo=0.020, shards=1, replicas=1)
+        simulator = build_serving_stack(service, config)
+        arrivals = poisson_arrivals(800.0, 400, seed=11)
+        report = simulator.run(arrivals)
+        health = evaluate_serving_health(report)
+        assert health.slo == pytest.approx(0.020)
+        payload = health.to_dict()
+        assert set(payload) >= {
+            "fired", "alerts", "peak_burn_fast", "peak_shed_rate"
+        }

@@ -92,6 +92,19 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             hist.percentile(50.0)
 
+    def test_quantiles_or_none_on_empty_histogram(self):
+        hist = MetricsRegistry().histogram("lat")
+        assert hist.quantiles_or_none() is None
+        hist.observe(2.0, level=1)
+        assert hist.quantiles_or_none() is None  # unlabeled set still empty
+        assert hist.quantiles_or_none(level=1) == hist.quantiles(level=1)
+
+    def test_quantiles_or_none_matches_quantiles(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 8.0):
+            hist.observe(value)
+        assert hist.quantiles_or_none() == hist.quantiles()
+
 
 # --- tracing -----------------------------------------------------------------------
 class TestTracing:
@@ -133,6 +146,18 @@ class TestTracing:
         span = tracer.spans[0]
         assert span.track == "flash/ch3"
         assert span.sim_start == 0.0 and span.sim_end == 1e-3
+
+    def test_find_filters_by_prefix_and_track(self):
+        tracer = Tracer()
+        tracer.add_span("tile0/int4_fetch", 0.0, 1.0, track="int4-module")
+        tracer.add_span("tile0/fp32_fetch", 0.0, 2.0, track="fp32-module")
+        tracer.add_span("tile1/fp32_fetch", 2.0, 3.0, track="fp32-module")
+        assert len(tracer.find("tile0/")) == 2
+        fp32_only = tracer.find("tile0/", track="fp32-module")
+        assert [s.name for s in fp32_only] == ["tile0/fp32_fetch"]
+        assert tracer.find("tile0/", track="nope") == []
+        # The disabled tracer accepts the same signature and finds nothing.
+        assert NullTracer().find("tile0/", track="fp32-module") == []
 
 
 # --- no-op mode --------------------------------------------------------------------
@@ -214,6 +239,42 @@ class TestExporters:
         ]
         assert counts == sorted(counts)
 
+    def test_labeled_histogram_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "flash_command_latency_seconds", buckets=(1e-4, 1e-3, 1e-2)
+        )
+        hist.observe(5e-4, channel=0, kind="read")
+        hist.observe(2e-3, channel=0, kind="read")
+        hist.observe(5e-4, channel=1, kind="program")
+        text = obs.to_prometheus_text(registry)
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("flash_command_latency_seconds_bucket")
+            and 'channel="0"' in line
+        ]
+        # One bucket line per bound plus +Inf, cumulative and le-ordered.
+        assert len(lines) == 4
+        les = [line.split('le="')[1].split('"')[0] for line in lines]
+        assert les == ["0.0001", "0.001", "0.01", "+Inf"]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts) and counts[-1] == 2
+        # Per-label-set _sum and _count rows exist.
+        assert 'flash_command_latency_seconds_count{channel="0",kind="read"} 2' in text
+        assert 'flash_command_latency_seconds_count{channel="1",kind="program"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_labels_total").inc(
+            1, note='quote " backslash \\ newline \n done'
+        )
+        text = obs.to_prometheus_text(registry)
+        line = next(
+            l for l in text.splitlines() if l.startswith("odd_labels_total{")
+        )
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+        assert "\n" not in line  # the raw newline must not split the sample
+
     def test_jsonl_round_trip(self):
         session = self._session()
         lines = obs.to_jsonl(session.tracer, session.registry).splitlines()
@@ -278,6 +339,29 @@ class TestCommandTraceHelpers:
     def test_queue_depth_empty_trace_raises(self):
         with pytest.raises(SimulationError):
             CommandTrace().queue_depth_percentile(50.0)
+
+    def test_queue_depth_single_sample_timeline(self):
+        trace = CommandTrace(events=[_make_event(0, 0, 0.0, 2.0)])
+        # One command in flight the whole window: every percentile is 1.
+        assert trace.queue_depth_percentile(0.0) == 1.0
+        assert trace.queue_depth_percentile(50.0) == 1.0
+        assert trace.queue_depth_percentile(100.0) == 1.0
+
+    def test_queue_depth_p0_and_p100_bound_the_depths(self):
+        trace = self._trace()
+        assert trace.queue_depth_percentile(0.0) == 1.0
+        assert trace.queue_depth_percentile(100.0) == 3.0
+        with pytest.raises(SimulationError):
+            trace.queue_depth_percentile(101.0)
+        with pytest.raises(SimulationError):
+            trace.queue_depth_percentile(-1.0)
+
+    def test_queue_depth_instantaneous_events_fall_back_to_peak(self):
+        trace = CommandTrace(events=[_make_event(0, 0, 1.0, 1.0)])
+        # Zero-duration timeline: no time weight exists, use the peak.
+        assert trace.queue_depth_percentile(50.0) == float(
+            trace.max_queue_depth()
+        )
 
     def test_to_chrome_events_uses_shared_schema(self):
         events = self._trace().to_chrome_events()
