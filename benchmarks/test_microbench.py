@@ -1,0 +1,124 @@
+"""Core-loop microbenchmarks: event backend and serving-layer throughput.
+
+The figure/serving benches gate *simulated* outcomes; nothing gated how fast
+the simulators themselves run, so an accidental O(n^2) in the event heap or
+the FTL lookup path would land silently (ROADMAP: perf gate for simulator
+throughput).  This bench times the two hot loops directly:
+
+* **event backend** — a fixed batch of flash READ commands through
+  :meth:`repro.ssd.device.SSDDevice.fetch_pages` (die sense, bus occupancy,
+  queueing), reported as ``events_per_second``;
+* **serving layer** — a fixed Poisson arrival stream through the
+  :class:`~repro.serve.driver.ServingSimulator` event loop, reported as
+  ``requests_per_second``.
+
+Results land in ``benchmarks/results/BENCH_microbench.json`` and are diffed
+by CI's perf job.  Wall-clock throughput is noisy across hosts, so the gate
+band is wide (``*per_second*`` defaults to -50%, and CI widens it further);
+the *simulated* outcomes recorded alongside (makespans, goodput, shed rate)
+are deterministic and stay tightly banded — a correctness canary riding in
+the same file.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_DIR, run_once
+
+from repro.config import ECSSDConfig
+from repro.serve import (
+    AffineServiceModel,
+    ServingConfig,
+    build_serving_stack,
+    saturating_rate,
+)
+from repro.ssd.device import SSDDevice
+from repro.workloads.streams import poisson_arrivals
+
+SEED = 0
+FETCH_ROUNDS = 8
+PAGES_PER_CHANNEL = 64
+SERVE_REQUESTS = 20_000
+
+#: Direct service-model constants (skips the calibration sweep — this bench
+#: times the event loop, not the analytic pipeline).
+SERVICE = dict(base=2.0e-4, per_query=2.0e-5, knee=32, candidate_fraction=0.7)
+
+
+def _bench_event_backend():
+    """Time FETCH_ROUNDS batches of flash commands; count simulated events."""
+    device = SSDDevice(ECSSDConfig())
+    channels = device.config.flash.channels
+    lpas = []
+    for channel in range(channels):
+        base = device.ftl.channel_logical_range(channel).start
+        lpas.extend(base + i for i in range(PAGES_PER_CHANNEL))
+    for lpa in lpas:
+        device.ftl.write(lpa)
+    addresses = [device.ftl.lookup(lpa) for lpa in lpas]
+
+    start = time.perf_counter()
+    makespans = []
+    for _ in range(FETCH_ROUNDS):
+        for channel in device.channels:
+            channel.reset()
+        makespans.append(device.fetch_pages(addresses, start=0.0).makespan)
+    wall = time.perf_counter() - start
+
+    commands = len(addresses) * FETCH_ROUNDS
+    return {
+        "commands": commands,
+        "rounds": FETCH_ROUNDS,
+        "sim_makespan_s": makespans[0],
+        "run_wall_s": wall,
+        "events_per_second": commands / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_serving():
+    """Time one long serving run; record its deterministic outcomes too."""
+    service = AffineServiceModel(**SERVICE)
+    config = ServingConfig(slo=0.02, shards=2, replicas=1)
+    simulator = build_serving_stack(service, config)
+    capacity = saturating_rate(service, config)
+    rate = 1.5 * capacity  # past saturation: shedding + ladder both exercised
+    arrivals = poisson_arrivals(rate, SERVE_REQUESTS, seed=SEED)
+
+    start = time.perf_counter()
+    report = simulator.run(arrivals)
+    wall = time.perf_counter() - start
+
+    return {
+        "requests": SERVE_REQUESTS,
+        "seed": SEED,
+        "goodput_qps": report.goodput,
+        "shed_rate": report.shed_rate,
+        "p99_ms": (report.p99 or 0.0) * 1e3,
+        "batches": len(report.batches),
+        "run_wall_s": wall,
+        "requests_per_second": SERVE_REQUESTS / wall if wall > 0 else 0.0,
+    }
+
+
+def test_microbench(benchmark):
+    def sweep():
+        return {
+            "event_backend": _bench_event_backend(),
+            "serving": _bench_serving(),
+        }
+
+    payload = run_once(benchmark, sweep)
+
+    # Sanity floor, not the gate: perf-diff against the checked-in baseline
+    # is the real enforcement.
+    assert payload["event_backend"]["events_per_second"] > 0
+    assert payload["serving"]["requests_per_second"] > 0
+    # The simulated outcomes are pure functions of the seed; pin invariants.
+    assert payload["serving"]["shed_rate"] > 0  # 1.5x saturation must shed
+    assert payload["event_backend"]["sim_makespan_s"] > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_microbench.json"
+    out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -21,7 +21,10 @@ Gives the reproduction a front door that requires no Python:
   critical-path attribution report (per-resource time, channel balance,
   transfer interference); ``--out`` writes the JSON form;
 * ``python -m repro perf-diff`` — compare two bench/metrics JSON files under
-  per-metric tolerance bands; exits nonzero on regression;
+  per-metric tolerance bands; exits nonzero on regression
+  (``--update-baseline`` rewrites the checked-in baseline instead);
+* ``python -m repro runs`` — list, show, compare, and divergence-check the
+  run manifests registered by ``serve``/``faults``/``profile --run-dir``;
 * ``python -m repro lint`` — run the reprolint determinism checks
   (``python -m repro.lint`` is the standalone equivalent).
 
@@ -61,16 +64,50 @@ def _session_from_args(args: argparse.Namespace):
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     jsonl_out = getattr(args, "jsonl_out", None)
-    if not (trace_out or metrics_out or jsonl_out):
+    stream_out = getattr(args, "jsonl_stream_out", None)
+    if not (trace_out or metrics_out or jsonl_out or stream_out):
         return None
     from . import obs
     from .config import ObservabilityConfig
 
     return obs.configure(
         ObservabilityConfig(
-            trace_out=trace_out, metrics_out=metrics_out, jsonl_out=jsonl_out
+            trace_out=trace_out,
+            metrics_out=metrics_out,
+            jsonl_out=jsonl_out,
+            jsonl_stream_out=stream_out,
+            span_seed=getattr(args, "seed", 0) or 0,
         )
     )
+
+
+def _register_run(
+    run_dir: str,
+    label: str,
+    seed: int,
+    config: dict,
+    workload: dict,
+    metrics: dict,
+    digests=None,
+    artifacts: Optional[dict] = None,
+) -> str:
+    """Build+register a run manifest; prints and returns its path."""
+    from .obs.runs import RunManifest, RunRegistry
+
+    manifest = RunManifest.build(
+        label=label,
+        seed=seed,
+        config=config,
+        workload=workload,
+        metrics=metrics,
+        digests=digests,
+    )
+    for name, path in sorted((artifacts or {}).items()):
+        manifest.add_artifact(name, path)
+    registry = RunRegistry(run_dir)
+    path = registry.register(manifest)
+    print(f"registered run {manifest.run_id} -> {path}")
+    return path
 
 
 def _replay_flash_commands(session, cap_per_channel: int = 48) -> int:
@@ -326,7 +363,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo=slo, shards=args.shards, replicas=args.replicas
     )
     degrees = shard_hot_degrees(generator, args.shards, tile_size=512)
-    simulator = build_serving_stack(service, config, hot_degrees=degrees)
+    recorder = None
+    if args.run_dir:
+        from .obs.digest import DigestRecorder
+
+        recorder = DigestRecorder(interval=args.digest_interval, label="serve")
+    simulator = build_serving_stack(
+        service, config, hot_degrees=degrees, digest_recorder=recorder
+    )
 
     capacity = saturating_rate(service, config)
     rate = args.rate if args.rate is not None else capacity
@@ -397,6 +441,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.run_dir:
+        artifacts = {}
+        if args.out:
+            artifacts["summary"] = args.out
+        stream_out = getattr(args, "jsonl_stream_out", None)
+        if stream_out:
+            artifacts["spans"] = stream_out
+        _register_run(
+            args.run_dir,
+            label=f"serve/{args.benchmark}",
+            seed=args.seed,
+            config={
+                "benchmark": args.benchmark,
+                "slo_ms": args.slo_ms,
+                "shards": args.shards,
+                "replicas": args.replicas,
+                "tiles": args.tiles,
+                "duration_s": args.duration,
+                "rate_qps": rate,
+            },
+            workload={
+                "kind": "poisson",
+                "rate_qps": rate,
+                "num_queries": num_queries,
+            },
+            metrics=summary,
+            digests=recorder.entries if recorder is not None else None,
+            artifacts=artifacts,
+        )
     return 0
 
 
@@ -409,6 +482,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
     classes = args.classes.split(",") if args.classes else list(FAULT_CLASSES)
     scales = [float(s) for s in args.scales.split(",")]
+    recorder = None
+    if args.run_dir:
+        from .obs.digest import DigestRecorder
+
+        recorder = DigestRecorder(label="faults")
     session = _session_from_args(args)
     try:
         report = run_fault_matrix(
@@ -417,6 +495,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             seed=args.seed,
             rber_scales=scales,
             fault_classes=classes,
+            digest_recorder=recorder,
         )
     finally:
         _finish_session(session)
@@ -456,6 +535,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.run_dir:
+        _register_run(
+            args.run_dir,
+            label="faults",
+            seed=args.seed,
+            config={
+                "labels": args.labels,
+                "queries": args.queries,
+                "scales": args.scales,
+                "classes": ",".join(classes),
+            },
+            workload={"kind": "fault-matrix", "cells": len(classes) * len(scales)},
+            metrics=report.to_dict(),
+            digests=recorder.entries if recorder is not None else None,
+            artifacts={"matrix": args.out} if args.out else None,
+        )
     return 0
 
 
@@ -493,6 +588,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.run_dir:
+        _register_run(
+            args.run_dir,
+            label="profile",
+            seed=args.seed,
+            config={"labels": args.labels},
+            workload={"kind": "instrumented-inference"},
+            metrics=report.to_dict(),
+            artifacts={"profile": args.out} if args.out else None,
+        )
     return 0
 
 
@@ -500,7 +605,7 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
     """Compare two metrics JSON files; exit nonzero on regression."""
     import json
 
-    from .obs.perfdiff import diff_files, parse_tolerance_spec
+    from .obs.perfdiff import diff_files, parse_tolerance_spec, update_baseline
 
     extra = tuple(parse_tolerance_spec(spec) for spec in args.tolerance)
     report = diff_files(
@@ -515,7 +620,81 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+    if args.update_baseline:
+        manifest_path = update_baseline(
+            args.baseline, args.candidate, run_dir=args.run_dir
+        )
+        print(f"updated baseline {args.baseline} from {args.candidate}")
+        if manifest_path:
+            print(f"recorded baseline update -> {manifest_path}")
+        return 0
     return report.exit_code
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect, compare, and divergence-check registered run manifests."""
+    from .obs.perfdiff import parse_tolerance_spec
+    from .obs.runs import RunRegistry, compare_runs, diverge_runs
+
+    registry = RunRegistry(args.run_dir)
+    command = args.runs_command
+    if command == "list":
+        manifests = registry.query(label=args.label, seed=args.seed)
+        for manifest in manifests:
+            print(manifest.summary_line())
+        if not manifests:
+            print(f"no runs registered under {args.run_dir}")
+        return 0
+    if command == "show":
+        print(registry.get(args.run_id).to_json(), end="")
+        return 0
+    if command == "compare":
+        extra = tuple(parse_tolerance_spec(spec) for spec in args.tolerance)
+        report = compare_runs(
+            registry.get(args.run_a),
+            registry.get(args.run_b),
+            tolerances=extra,
+            default_rel_tol=args.default_rel_tol,
+        )
+        print(report.render(show_ok=args.show_ok))
+        return report.exit_code
+    if command == "diverge":
+        manifest_a = registry.get(args.run_a)
+        manifest_b = registry.get(args.run_b)
+        report = diverge_runs(manifest_a, manifest_b)
+        print(report.render())
+        if report.divergence is not None and args.context > 0:
+            _print_divergence_context(manifest_a, report, args.context)
+        return 1 if report.diverged else 0
+    print(f"unknown runs subcommand {command!r}", file=sys.stderr)
+    return 2
+
+
+def _print_divergence_context(manifest, report, limit: int) -> None:
+    """Print spans bracketing the first divergence, from the spans artifact."""
+    from .obs.digest import spans_in_window
+    from .obs.export import read_jsonl_spans
+
+    artifact = manifest.artifacts.get("spans")
+    if artifact is None:
+        return
+    try:
+        spans = read_jsonl_spans(artifact["path"])
+    except OSError:
+        print(f"(spans artifact {artifact['path']} unreadable; no context)")
+        return
+    divergence = report.divergence
+    window = spans_in_window(
+        spans, divergence.last_match_sim_time, divergence.sim_time_a
+    )
+    if not window:
+        return
+    print(f"spans between last match and divergence ({report.run_a}):")
+    for span in window[-limit:]:
+        print(
+            f"  [{span.sim_start:.6g}s - {span.sim_end:.6g}s] "
+            f"{span.track}/{span.name}"
+        )
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -550,6 +729,12 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--jsonl-out",
         default=None,
         help="write spans and metric samples as JSON lines",
+    )
+    parser.add_argument(
+        "--jsonl-stream-out",
+        default=None,
+        help="stream finished spans incrementally to this JSONL file "
+             "(bounded memory: spans bypass the in-memory tracer)",
     )
 
 
@@ -631,6 +816,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", default=None, help="write the run summary as JSON"
     )
+    serve.add_argument(
+        "--run-dir", default=None,
+        help="register a run manifest (with a digest track) in this directory",
+    )
+    serve.add_argument(
+        "--digest-interval", type=int, default=256,
+        help="event-loop steps between state digests (with --run-dir)",
+    )
     _add_observability_flags(serve)
     _add_verbose(serve)
 
@@ -645,6 +838,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write the attribution report as JSON (sim-clock only: "
              "byte-identical for a given seed)",
+    )
+    profile.add_argument(
+        "--run-dir", default=None,
+        help="register a run manifest in this directory",
     )
     _add_observability_flags(profile)
     _add_verbose(profile)
@@ -671,6 +868,15 @@ def build_parser() -> argparse.ArgumentParser:
     perf_diff.add_argument(
         "--out", default=None, help="write the diff report as JSON"
     )
+    perf_diff.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline JSON in place from the candidate "
+             "(exit 0 regardless of the diff verdict)",
+    )
+    perf_diff.add_argument(
+        "--run-dir", default=None,
+        help="with --update-baseline: record the update as a run manifest",
+    )
     _add_verbose(perf_diff)
 
     faults = sub.add_parser(
@@ -690,8 +896,47 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--out", default=None, help="write the matrix report as JSON"
     )
+    faults.add_argument(
+        "--run-dir", default=None,
+        help="register a run manifest (with a digest track) in this directory",
+    )
     _add_observability_flags(faults)
     _add_verbose(faults)
+
+    runs = sub.add_parser(
+        "runs", help="inspect, compare, and divergence-check registered runs"
+    )
+    runs.add_argument(
+        "--run-dir", default="runs",
+        help="directory holding run manifests (default: runs/)",
+    )
+    _add_verbose(runs)
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list registered runs")
+    runs_list.add_argument("--label", default=None, help="exact label filter")
+    runs_list.add_argument("--seed", type=int, default=None, help="seed filter")
+    runs_show = runs_sub.add_parser("show", help="print one run manifest")
+    runs_show.add_argument("run_id", help="run ID (unambiguous prefix ok)")
+    runs_compare = runs_sub.add_parser(
+        "compare", help="perf-diff two runs' summary metrics"
+    )
+    runs_compare.add_argument("run_a")
+    runs_compare.add_argument("run_b")
+    runs_compare.add_argument(
+        "--tolerance", action="append", default=[],
+        metavar="PATTERN=REL[:DIR]", help="extra tolerance band",
+    )
+    runs_compare.add_argument("--default-rel-tol", type=float, default=0.05)
+    runs_compare.add_argument("--show-ok", action="store_true")
+    runs_diverge = runs_sub.add_parser(
+        "diverge", help="find the first state divergence between two runs"
+    )
+    runs_diverge.add_argument("run_a")
+    runs_diverge.add_argument("run_b")
+    runs_diverge.add_argument(
+        "--context", type=int, default=8,
+        help="max spans of context to print around the divergence",
+    )
 
     from .lint.cli import configure_parser as configure_lint_parser
 
@@ -720,6 +965,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _cmd_faults,
         "profile": _cmd_profile,
         "perf-diff": _cmd_perf_diff,
+        "runs": _cmd_runs,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

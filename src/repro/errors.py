@@ -38,3 +38,12 @@ class FormatError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark or synthetic workload request is invalid."""
+
+
+class ObservabilityError(ReproError):
+    """Telemetry recording or run-provenance bookkeeping failed.
+
+    Raised when a bounded recorder would silently lose data (an in-memory
+    tracer over its span cap with no streaming sink attached), a streaming
+    sink is used after close, or a run manifest/registry lookup fails.
+    """

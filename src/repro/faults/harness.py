@@ -30,6 +30,7 @@ from ..analysis.metrics import topk_retention
 from ..config import ECSSDConfig
 from ..core.ecssd import ECSSDevice
 from ..errors import WorkloadError
+from ..obs.digest import DigestRecorder
 from ..units import us
 from ..workloads.synthetic import make_workload
 from .injector import FaultInjector, installed
@@ -148,6 +149,7 @@ def run_fault_matrix(
     top_k: int = 5,
     storm_pages: int = 64,
     config: Optional[ECSSDConfig] = None,
+    digest_recorder: Optional[DigestRecorder] = None,
 ) -> FaultMatrixReport:
     """Run the full fault matrix; see the module docstring for the cells."""
     if num_queries < 1:
@@ -199,6 +201,17 @@ def run_fault_matrix(
                 storm = _read_storm(injector, storm_pages)
             injector.check_conservation()
             retention = topk_retention(clean_labels, stats.result.top_labels)
+            if digest_recorder is not None:
+                # One checkpoint per matrix cell (capture, not tick: every
+                # cell is a meaningful state, and sweeps are short).
+                digest_recorder.capture(
+                    float(perf.scaled_total_time),
+                    fault_class=fault_class,
+                    rber_scale=f"{float(scale):g}",
+                    retention=float(retention),
+                    failed_reads=int(storm["failed_reads"]),
+                    uncorrectable=int(injector.tier_counts["uncorrectable"]),
+                )
             column[f"{float(scale):g}"] = {
                 "retention": retention,
                 "accuracy_cost": 1.0 - retention,

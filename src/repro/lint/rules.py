@@ -54,6 +54,12 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "repro.obs.profile",
     "repro.obs.health",
     "repro.obs.perfdiff",
+    # Run provenance and streaming telemetry: digests hash sim-clock state,
+    # the reservoir draws from a seeded stream, manifests must be pure
+    # functions of (config, seed, workload) — all squarely in-contract.
+    "repro.obs.digest",
+    "repro.obs.runs",
+    "repro.obs.streaming",
 )
 
 #: Modules allowed to read the wall clock (the span recorder and metrics

@@ -32,8 +32,19 @@ from __future__ import annotations
 import logging
 from typing import List, Optional
 
+from .digest import (
+    DigestEntry,
+    DigestRecorder,
+    Divergence,
+    DivergenceReport,
+    canonical_json,
+    diverge_digest_entries,
+    spans_in_window,
+    state_digest,
+)
 from .export import (
     command_trace_events,
+    read_jsonl_spans,
     spans_to_chrome_events,
     to_chrome_trace,
     to_jsonl,
@@ -74,7 +85,22 @@ from .profile import (
     TileAttribution,
     profile_trace,
 )
+from .runs import (
+    RunManifest,
+    RunRegistry,
+    compare_runs,
+    derive_run_id,
+    diverge_runs,
+    file_digest,
+)
+from .streaming import (
+    JsonlSpanWriter,
+    SpanReservoir,
+    StreamingSpanSink,
+    WindowedAggregator,
+)
 from .tracing import (
+    DIGEST_TRACK,
     CLUSTER_TRACK,
     FAULT_TRACK,
     FLASH_TRACK_PREFIX,
@@ -141,7 +167,28 @@ __all__ = [
     "CLUSTER_TRACK",
     "SERVE_TRACK",
     "FAULT_TRACK",
+    "DIGEST_TRACK",
     "FLASH_TRACK_PREFIX",
+    # run provenance + streaming telemetry
+    "DigestEntry",
+    "DigestRecorder",
+    "Divergence",
+    "DivergenceReport",
+    "canonical_json",
+    "diverge_digest_entries",
+    "spans_in_window",
+    "state_digest",
+    "read_jsonl_spans",
+    "RunManifest",
+    "RunRegistry",
+    "compare_runs",
+    "derive_run_id",
+    "diverge_runs",
+    "file_digest",
+    "JsonlSpanWriter",
+    "SpanReservoir",
+    "StreamingSpanSink",
+    "WindowedAggregator",
 ]
 
 _registry = NULL_REGISTRY
@@ -216,9 +263,28 @@ class Observability:
         self.registry = registry or (
             MetricsRegistry() if metrics_on else NULL_REGISTRY
         )
-        self.tracer = tracer or (Tracer() if tracing_on else NULL_TRACER)
+        max_spans = getattr(config, "max_spans", None)
+        self.tracer = tracer or (
+            Tracer(max_spans=max_spans) if tracing_on else NULL_TRACER
+        )
         if isinstance(self.registry, MetricsRegistry):
             register_standard_metrics(self.registry)
+        self.sink: Optional[StreamingSpanSink] = None
+        stream_out = getattr(config, "jsonl_stream_out", None)
+        reservoir = getattr(config, "span_reservoir", None)
+        window_s = getattr(config, "aggregate_window_s", None)
+        if self.tracer.enabled and (
+            stream_out is not None
+            or reservoir is not None
+            or window_s is not None
+        ):
+            self.sink = StreamingSpanSink(
+                path=stream_out,
+                reservoir=reservoir,
+                seed=getattr(config, "span_seed", 0),
+                window_s=window_s,
+            )
+            self.tracer.attach_sink(self.sink)
         self._previous = None
 
     def install(self) -> "Observability":
@@ -259,6 +325,10 @@ class Observability:
                 self.registry if self.registry.enabled else None,
             )
             written.append(jsonl_out)
+        if self.sink is not None:
+            self.sink.close()
+            if self.sink.path is not None:
+                written.append(self.sink.path)
         return written
 
     def __enter__(self) -> "Observability":

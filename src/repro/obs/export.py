@@ -74,6 +74,30 @@ def write_jsonl(
     _write(target, to_jsonl(tracer, registry))
 
 
+def read_jsonl_spans(source: PathOrFile) -> List[SpanRecord]:
+    """Parse span records back out of a JSONL export or streamed span file.
+
+    The inverse of the span half of :func:`to_jsonl` (and of
+    :class:`repro.obs.streaming.JsonlSpanWriter` output): metric lines and
+    blanks are skipped, span/instant lines become :class:`SpanRecord` rows in
+    file order.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = source.read()
+    spans: List[SpanRecord] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        if data.get("type") == "metric":
+            continue
+        spans.append(SpanRecord.from_dict(data))
+    return spans
+
+
 # --- Prometheus text exposition ---------------------------------------------------
 def _escape_label_value(value: str) -> str:
     """Escape a label value per the exposition format: ``\\``, ``"``, newline."""

@@ -126,6 +126,68 @@ class _HistogramState:
         self.min = math.inf
         self.max = -math.inf
 
+    def observe(self, value: float, buckets: Sequence[float]) -> None:
+        """Fold one observation in (``buckets`` are the family's bounds)."""
+        self.bucket_counts[bucket_index(buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "_HistogramState") -> None:
+        """Fold another state (same bucket bounds) into this one.
+
+        Histograms over fixed buckets are mergeable exactly: counts add,
+        extrema combine, and the merged percentile interpolation is
+        identical to having observed both streams into one state.  This is
+        what lets :mod:`repro.obs.streaming` keep O(windows) memory while
+        reporting whole-run aggregates.
+        """
+        if len(other.bucket_counts) != len(self.bucket_counts):
+            raise ConfigurationError(
+                "cannot merge histogram states with different bucket counts"
+            )
+        for i, count in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+def bucket_index(buckets: Sequence[float], value: float) -> int:
+    """Index of the first bucket containing ``value`` (``le`` semantics)."""
+    for i, bound in enumerate(buckets):
+        if value <= bound:
+            return i
+    return len(buckets)
+
+
+def percentile_from_state(
+    buckets: Sequence[float], state: _HistogramState, p: float, name: str = ""
+) -> float:
+    """The ``p``-th percentile (0-100) interpolated from bucket counts."""
+    if not (0.0 <= p <= 100.0):
+        raise ConfigurationError("percentile must be in [0, 100]")
+    if state.count == 0:
+        raise ConfigurationError(f"histogram {name} has no observations")
+    rank = p / 100.0 * state.count
+    cumulative = 0
+    for i, bucket_count in enumerate(state.bucket_counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lower = buckets[i - 1] if i > 0 else 0.0
+            lower = max(lower, state.min) if cumulative == 0 else lower
+            if i >= len(buckets):  # +Inf bucket: no upper bound
+                return state.max
+            upper = buckets[i]
+            fraction = (rank - cumulative) / bucket_count
+            estimate = lower + fraction * (upper - lower)
+            return min(max(estimate, state.min), state.max)
+        cumulative += bucket_count
+    return state.max
+
 
 class Histogram(_Instrument):
     """Fixed-bucket streaming histogram with interpolated percentiles.
@@ -162,17 +224,7 @@ class Histogram(_Instrument):
     def observe(self, value: float, **labels: object) -> None:
         value = float(value)
         with self._lock:
-            state = self._state(labels)
-            index = len(self.buckets)
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    index = i
-                    break
-            state.bucket_counts[index] += 1
-            state.count += 1
-            state.sum += value
-            state.min = min(state.min, value)
-            state.max = max(state.max, value)
+            self._state(labels).observe(value, self.buckets)
 
     def count(self, **labels: object) -> int:
         state = self._states.get(_label_key(labels))
@@ -189,22 +241,7 @@ class Histogram(_Instrument):
         state = self._states.get(_label_key(labels))
         if state is None or state.count == 0:
             raise ConfigurationError(f"histogram {self.name} has no observations")
-        rank = p / 100.0 * state.count
-        cumulative = 0
-        for i, bucket_count in enumerate(state.bucket_counts):
-            if bucket_count == 0:
-                continue
-            if cumulative + bucket_count >= rank:
-                lower = self.buckets[i - 1] if i > 0 else 0.0
-                upper = self.buckets[i] if i < len(self.buckets) else state.max
-                lower = max(lower, state.min) if cumulative == 0 else lower
-                if i >= len(self.buckets):  # +Inf bucket: no upper bound
-                    return state.max
-                fraction = (rank - cumulative) / bucket_count
-                estimate = lower + fraction * (upper - lower)
-                return min(max(estimate, state.min), state.max)
-            cumulative += bucket_count
-        return state.max
+        return percentile_from_state(self.buckets, state, p, name=self.name)
 
     def quantiles(self, **labels: object) -> Dict[str, float]:
         """The p50/p95/p99 summary the ISSUE-level analyses read."""

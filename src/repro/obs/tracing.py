@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ObservabilityError
 
 #: Track names used by the built-in instrumentation (one Chrome-trace "thread"
 #: per track).  Channel tracks are ``flash/ch<N>``.
@@ -40,6 +40,7 @@ HOST_TRACK = "host"
 CLUSTER_TRACK = "cluster"
 SERVE_TRACK = "serve"
 FAULT_TRACK = "faults"
+DIGEST_TRACK = "digest"
 FLASH_TRACK_PREFIX = "flash/ch"
 
 
@@ -85,6 +86,31 @@ class SpanRecord:
             "attrs": dict(self.attrs),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        """Inverse of :meth:`to_dict` — rebuilds a record from a JSONL row.
+
+        ``to_dict`` then ``from_dict`` round-trips every field, so a span
+        log streamed to disk re-exports byte-identically
+        (:func:`repro.obs.export.read_jsonl_spans`).
+        """
+
+        def _opt(value: object) -> Optional[float]:
+            return None if value is None else float(value)  # type: ignore[arg-type]
+
+        return cls(
+            name=str(data["name"]),
+            track=str(data.get("track", PIPELINE_TRACK)),
+            sim_start=_opt(data.get("sim_start")),
+            sim_end=_opt(data.get("sim_end")),
+            wall_start=_opt(data.get("wall_start")),
+            wall_end=_opt(data.get("wall_end")),
+            parent=None if data.get("parent") is None else str(data["parent"]),
+            depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
+            kind=str(data.get("type", "span")),
+            attrs=dict(data.get("attrs") or {}),  # type: ignore[arg-type]
+        )
+
 
 class _OpenSpan:
     """Handle yielded by ``tracer.span`` while the span is running."""
@@ -110,18 +136,60 @@ class _OpenSpan:
 
 
 class Tracer:
-    """Collects spans; the live implementation behind ``obs.get_tracer``."""
+    """Collects spans; the live implementation behind ``obs.get_tracer``.
+
+    Two retention modes:
+
+    * **in-memory** (default) — finished spans accumulate on :attr:`spans`;
+      ``max_spans`` optionally caps the list, raising
+      :class:`~repro.errors.ObservabilityError` instead of growing silently
+      (the guard for long serving runs that forgot to stream);
+    * **streaming** — :meth:`attach_sink` hands every finished span to a
+      sink (:class:`repro.obs.streaming.StreamingSpanSink`) instead of the
+      list, so memory stays bounded by the sink's reservoir/windows no
+      matter how many spans the run emits.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ConfigurationError("max_spans must be >= 1 (or None)")
         self.spans: List[SpanRecord] = []
+        self.max_spans = max_spans
+        self.sink = None  # duck-typed: .emit(SpanRecord)
         self._stack: List[SpanRecord] = []
         self._wall_origin = time.perf_counter()
 
     # --- recording -------------------------------------------------------------
     def _now(self) -> float:
         return time.perf_counter() - self._wall_origin
+
+    def attach_sink(self, sink) -> None:
+        """Stream finished spans to ``sink`` instead of :attr:`spans`."""
+        if sink is None:
+            raise ConfigurationError("attach_sink requires a sink; use detach_sink")
+        self.sink = sink
+
+    def detach_sink(self):
+        """Stop streaming; returns the detached sink (or ``None``)."""
+        sink, self.sink = self.sink, None
+        return sink
+
+    def _record(self, record: SpanRecord) -> None:
+        """The single retention path every finished span goes through."""
+        if self.sink is not None:
+            self.sink.emit(record)
+            return
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            raise ObservabilityError(
+                f"tracer exceeded max_spans={self.max_spans} with no "
+                "streaming sink attached; attach a "
+                "repro.obs.streaming.StreamingSpanSink (e.g. "
+                "ObservabilityConfig(jsonl_stream_out=...)) to hold memory "
+                "bounded, or raise max_spans"
+            )
+        self.spans.append(record)
 
     def span(self, name: str, track: str = HOST_TRACK, **attrs: object) -> _OpenSpan:
         """A wall-clocked nesting span, used as a context manager."""
@@ -141,7 +209,7 @@ class Tracer:
         record.wall_end = self._now()
         if self._stack and self._stack[-1] is record:
             self._stack.pop()
-        self.spans.append(record)
+        self._record(record)
 
     def add_span(
         self,
@@ -164,7 +232,7 @@ class Tracer:
             depth=len(self._stack),
             attrs=dict(attrs or {}),
         )
-        self.spans.append(record)
+        self._record(record)
         return record
 
     def instant(
@@ -188,7 +256,7 @@ class Tracer:
             kind="instant",
             attrs=dict(attrs or {}),
         )
-        self.spans.append(record)
+        self._record(record)
         return record
 
     def add_command_trace(self, trace) -> int:
@@ -199,7 +267,8 @@ class Tracer:
         tracer and ``CommandTrace.to_chrome_events`` use.
         """
         records = spans_from_command_trace(trace.events)
-        self.spans.extend(records)
+        for record in records:
+            self._record(record)
         return len(records)
 
     # --- queries ---------------------------------------------------------------
@@ -257,6 +326,14 @@ class NullTracer:
 
     enabled = False
     spans: List[SpanRecord] = []
+    sink = None
+    max_spans: Optional[int] = None
+
+    def attach_sink(self, sink) -> None:
+        pass
+
+    def detach_sink(self):
+        return None
 
     def span(self, name: str, track: str = HOST_TRACK, **attrs: object) -> _NullOpenSpan:
         return _NULL_OPEN_SPAN

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError, WorkloadError
 from ..obs import SERVE_TRACK, get_registry, get_tracer
+from ..obs.digest import DigestRecorder
 from .admission import AdmissionConfig, AdmissionController
 from .degrade import DegradationLadder
 from .queues import RequestQueue
@@ -79,6 +80,7 @@ class ServingSimulator:
         slo: float,
         eager_when_idle: bool = True,
         fault_signal: Optional[Callable[[float], float]] = None,
+        digest_recorder: Optional[DigestRecorder] = None,
     ) -> None:
         if slo <= 0:
             raise ConfigurationError("slo must be positive")
@@ -92,6 +94,10 @@ class ServingSimulator:
         # Device-reliability pressure source (sim time -> [0, 1]); usually
         # FaultInjector.fault_pressure.  None means a healthy device.
         self.fault_signal = fault_signal
+        # Optional provenance hook: ticked once per event-heap pop with the
+        # loop's counter snapshot, so two same-seed runs can be checked for
+        # state divergence after the fact (repro.obs.digest).
+        self.digest_recorder = digest_recorder
 
     # -- helpers -------------------------------------------------------------
     def _pending(self, queue: RequestQueue) -> int:
@@ -219,8 +225,23 @@ class ServingSimulator:
                     break
                 dispatch(now)
 
+        recorder = self.digest_recorder
+
         while heap:
             now, kind, _, payload = heapq.heappop(heap)
+            if recorder is not None:
+                recorder.tick(
+                    now,
+                    kind=kind,
+                    queue_depth=queue.depth,
+                    waiting=len(waiting),
+                    inflight=len(inflight),
+                    completed=len(completed),
+                    shed=len(shed),
+                    batches=len(batches),
+                    degrade_level=self.ladder.level,
+                    seq=seq,
+                )
             if kind == _KIND_COMPLETION:
                 batch_state = inflight.pop(payload)
                 self.router.release(
@@ -298,6 +319,24 @@ class ServingSimulator:
                 f"!= {times.size} arrived"
             )
         completed.sort(key=lambda c: (c.completion, c.request.request_id))
+        if recorder is not None:
+            # End-of-run checkpoint: catches tail perturbations shorter than
+            # one digest interval.
+            final_time = max(
+                (c.completion for c in completed), default=float(times[-1])
+            )
+            recorder.capture(
+                final_time,
+                kind=-1,
+                queue_depth=0,
+                waiting=0,
+                inflight=0,
+                completed=len(completed),
+                shed=len(shed),
+                batches=len(batches),
+                degrade_level=self.ladder.level,
+                seq=seq,
+            )
         report = ServingReport(
             slo=self.slo,
             arrived=int(times.size),
@@ -351,6 +390,7 @@ def build_serving_stack(
     hot_degrees: Optional[List[float]] = None,
     ladder: Optional[DegradationLadder] = None,
     fault_signal: Optional[Callable[[float], float]] = None,
+    digest_recorder: Optional[DigestRecorder] = None,
 ) -> ServingSimulator:
     """Assemble admission, batching, routing, and degradation into one stack.
 
@@ -399,6 +439,7 @@ def build_serving_stack(
         slo=config.slo,
         eager_when_idle=config.eager_when_idle,
         fault_signal=fault_signal,
+        digest_recorder=digest_recorder,
     )
 
 
