@@ -380,7 +380,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # carries batch/shed spans without the calibration sweep's tile spans.
     session = _session_from_args(args)
     try:
-        report = simulator.run(arrivals)
+        with _simsan_context(args) as sanitizer:
+            report = simulator.run(arrivals)
     finally:
         _finish_session(session, replay_flash=False)
 
@@ -470,7 +471,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             digests=recorder.entries if recorder is not None else None,
             artifacts=artifacts,
         )
-    return 0
+    return _simsan_finish(sanitizer)
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -489,14 +490,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         recorder = DigestRecorder(label="faults")
     session = _session_from_args(args)
     try:
-        report = run_fault_matrix(
-            num_labels=args.labels,
-            num_queries=args.queries,
-            seed=args.seed,
-            rber_scales=scales,
-            fault_classes=classes,
-            digest_recorder=recorder,
-        )
+        with _simsan_context(args) as sanitizer:
+            report = run_fault_matrix(
+                num_labels=args.labels,
+                num_queries=args.queries,
+                seed=args.seed,
+                rber_scales=scales,
+                fault_classes=classes,
+                digest_recorder=recorder,
+            )
     finally:
         _finish_session(session)
     rows = []
@@ -551,7 +553,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             digests=recorder.entries if recorder is not None else None,
             artifacts={"matrix": args.out} if args.out else None,
         )
-    return 0
+    return _simsan_finish(sanitizer)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -714,6 +716,39 @@ def _add_verbose(parser: argparse.ArgumentParser, dest: str = "verbose") -> None
     )
 
 
+def _add_simsan(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--simsan",
+        action="store_true",
+        help="enable the runtime sim-sanitizer (monotone pops, finite "
+             "times, RNG stream discipline); also enabled by REPRO_SIMSAN=1",
+    )
+
+
+def _simsan_context(args: argparse.Namespace):
+    """A ``simsan.installed`` context when requested, else a no-op context.
+
+    The sanitizer only observes — it changes no arithmetic and consumes no
+    RNG state — so an instrumented run produces byte-identical digests and
+    the same run id as a plain run at the same seed.
+    """
+    from contextlib import nullcontext
+
+    from .lint.simsan import SimSanitizer, env_enabled, installed
+
+    if getattr(args, "simsan", False) or env_enabled():
+        return installed(SimSanitizer())
+    return nullcontext(None)
+
+
+def _simsan_finish(sanitizer) -> int:
+    """Print the sanitizer report; nonzero when violations were recorded."""
+    if sanitizer is None:
+        return 0
+    print(sanitizer.report())
+    return 1 if sanitizer.violations else 0
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -824,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest-interval", type=int, default=256,
         help="event-loop steps between state digests (with --run-dir)",
     )
+    _add_simsan(serve)
     _add_observability_flags(serve)
     _add_verbose(serve)
 
@@ -900,6 +936,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir", default=None,
         help="register a run manifest (with a digest track) in this directory",
     )
+    _add_simsan(faults)
     _add_observability_flags(faults)
     _add_verbose(faults)
 

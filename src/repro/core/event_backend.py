@@ -22,6 +22,7 @@ import numpy as np
 from ..config import ECSSDConfig
 from ..errors import ConfigurationError
 from ..layout.placement import WeightPlacement
+from ..lint.simsan import get_sanitizer
 from ..obs.digest import DigestRecorder
 from ..ssd.controller import CommandKind, FlashCommand
 from ..ssd.device import SSDDevice
@@ -163,6 +164,10 @@ class EventBackedTiming:
             cost = max(flash_makespan, fp32_compute, max(int4_fetch, int4_compute))
         else:
             cost = int4_fetch + int4_compute + flash_makespan + fp32_compute
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.check_time("event_backend.flash_makespan", flash_makespan)
+            sanitizer.check_time("event_backend.tile_cost", cost)
         pages = np.zeros(placement.num_channels, dtype=np.int64)
         for channel, page_list in page_lists.items():
             pages[channel] = len(page_list)

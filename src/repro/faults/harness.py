@@ -30,6 +30,7 @@ from ..analysis.metrics import topk_retention
 from ..config import ECSSDConfig
 from ..core.ecssd import ECSSDevice
 from ..errors import WorkloadError
+from ..lint.simsan import get_sanitizer
 from ..obs.digest import DigestRecorder
 from ..units import us
 from ..workloads.synthetic import make_workload
@@ -200,6 +201,12 @@ def run_fault_matrix(
                 stats, perf = fresh_device().run_inference(queries, top_k=top_k)
                 storm = _read_storm(injector, storm_pages)
             injector.check_conservation()
+            sanitizer = get_sanitizer()
+            if sanitizer.enabled:
+                sanitizer.check_time(
+                    f"faults.{fault_class}@{float(scale):g}.latency_s",
+                    float(perf.scaled_total_time),
+                )
             retention = topk_retention(clean_labels, stats.result.top_labels)
             if digest_recorder is not None:
                 # One checkpoint per matrix cell (capture, not tick: every

@@ -5,10 +5,18 @@ A baseline file records findings that are understood and deliberately kept;
 entry.  Every entry **must** carry a non-empty ``justification`` — an entry
 without one fails loading, so grandfathering is never silent.
 
-Entries match on ``(rule, path-suffix, code)`` where ``code`` is the stripped
-source line the finding fired on.  Matching on the code text rather than the
-line number keeps the baseline stable across unrelated edits; the recorded
-``line`` is a hint for humans (and the fallback when ``code`` is empty).
+Two entry formats coexist:
+
+* **v2** (current) — entries key on ``(rule, symbol, message)`` where
+  ``symbol`` is the fully-qualified enclosing symbol
+  (``repro.core.protocol.DeviceServer.handle``).  Neither half moves when
+  unrelated edits shift line numbers or the file is renamed in place, so
+  refactors don't churn the baseline.  ``path``/``line``/``code`` are kept
+  as human-facing hints only.
+* **v1** (legacy, read-only) — entries key on ``(rule, path-suffix,
+  code-or-line)``.  :meth:`Baseline.load` still accepts them so an old
+  baseline keeps working; ``repro lint --update-baseline`` rewrites it in
+  v2 carrying the justifications over.
 """
 
 from __future__ import annotations
@@ -16,12 +24,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .findings import Finding
 
 BASELINE_FILENAME = "reprolint-baseline.json"
-_VERSION = 1
+_VERSION = 2
 
 
 class BaselineError(ValueError):
@@ -30,17 +38,35 @@ class BaselineError(ValueError):
 
 @dataclass
 class BaselineEntry:
-    """One grandfathered finding."""
+    """One grandfathered finding.
+
+    A v2 entry has ``symbol`` and/or ``message`` set and matches on
+    ``(rule, symbol, message)``; a legacy v1 entry has neither and matches
+    on ``(rule, path-suffix, code-or-line)``.
+    """
 
     rule: str
     path: str
     justification: str
     code: str = ""
     line: int = 0
+    symbol: str = ""
+    message: str = ""
+
+    @property
+    def is_v2(self) -> bool:
+        return bool(self.symbol or self.message)
 
     def matches(self, finding: Finding) -> bool:
         if self.rule != finding.rule:
             return False
+        if self.is_v2:
+            if self.symbol and self.symbol != finding.symbol:
+                return False
+            if self.message and self.message != finding.message:
+                return False
+            return True
+        # v1 legacy matching: path suffix plus code text (or line fallback).
         if not _path_suffix_match(self.path, finding.path):
             return False
         if self.code:
@@ -50,6 +76,8 @@ class BaselineEntry:
     def to_json(self) -> Dict[str, Any]:
         return {
             "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
             "path": self.path,
             "line": self.line,
             "code": self.code,
@@ -69,6 +97,7 @@ class Baseline:
 
     entries: List[BaselineEntry] = field(default_factory=list)
     path: str = ""
+    version: int = _VERSION
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Baseline":
@@ -78,6 +107,7 @@ class Baseline:
             raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
         if not isinstance(payload, dict) or "entries" not in payload:
             raise BaselineError(f"{path}: expected an object with 'entries'")
+        version = int(payload.get("version", 1))
         entries: List[BaselineEntry] = []
         for index, raw in enumerate(payload["entries"]):
             justification = str(raw.get("justification", "")).strip()
@@ -90,13 +120,15 @@ class Baseline:
             entries.append(
                 BaselineEntry(
                     rule=str(raw["rule"]),
-                    path=str(raw["path"]),
+                    path=str(raw.get("path", "")),
                     justification=justification,
                     code=str(raw.get("code", "")),
                     line=int(raw.get("line", 0)),
+                    symbol=str(raw.get("symbol", "")),
+                    message=str(raw.get("message", "")),
                 )
             )
-        return cls(entries=entries, path=str(path))
+        return cls(entries=entries, path=str(path), version=version)
 
     def save(self, path: Union[str, Path]) -> None:
         payload = {
@@ -143,10 +175,47 @@ class Baseline:
                     justification=justification,
                     code=f.code,
                     line=f.line,
+                    symbol=f.symbol,
+                    message=f.message,
                 )
                 for f in findings
             ]
         )
+
+    def migrated(self, findings: Sequence[Finding]) -> "Baseline":
+        """A v2 baseline re-keyed against the current findings.
+
+        Each finding that matches an existing entry (v1 or v2) becomes a v2
+        entry carrying that entry's justification; entries no current
+        finding matches are dropped (they were stale).  This is the engine
+        behind ``repro lint --update-baseline``.
+        """
+        migrated: List[BaselineEntry] = []
+        seen: set = set()
+        for finding in findings:
+            source: Optional[BaselineEntry] = None
+            for entry in self.entries:
+                if entry.matches(finding):
+                    source = entry
+                    break
+            if source is None:
+                continue
+            key = (finding.rule, finding.symbol, finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            migrated.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    justification=source.justification,
+                    code=finding.code,
+                    line=finding.line,
+                    symbol=finding.symbol,
+                    message=finding.message,
+                )
+            )
+        return Baseline(entries=migrated, path=self.path)
 
 
 def discover_baseline(paths: Sequence[Union[str, Path]]) -> Union[Path, None]:

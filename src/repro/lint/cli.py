@@ -3,6 +3,14 @@
 Exit codes: 0 — clean (modulo baseline); 1 — new findings (or stale/invalid
 baseline); 2 — usage error.  Both entry points share :func:`configure_parser`
 so the flags stay identical.
+
+``--deep`` adds the whole-program passes (:mod:`repro.lint.deep`);
+``--graph-cache PATH`` memoizes their findings keyed on a sha256 fingerprint
+of every source file, so CI builds the project graph once and later steps
+replay it.  ``--format=github`` emits GitHub Actions workflow commands so
+new findings annotate PR diffs inline.  ``--update-baseline`` re-keys an
+existing baseline (v1 or v2) on ``(rule, symbol, message)``, carrying the
+justifications over and dropping stale entries.
 """
 
 from __future__ import annotations
@@ -27,6 +35,19 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program passes (seed provenance, "
+        "unit/dimension flow, layering contract)",
+    )
+    parser.add_argument(
+        "--graph-cache",
+        default=None,
+        metavar="PATH",
+        help="memoize deep-pass findings at PATH, keyed on a fingerprint of "
+        "every source file (used by CI to share the graph between steps)",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="baseline JSON of grandfathered findings "
@@ -44,6 +65,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "(justifications start as TODO and must be filled in)",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-key the existing baseline on (rule, symbol, message), "
+        "carrying justifications over and dropping stale entries",
+    )
+    parser.add_argument(
         "--select",
         action="append",
         metavar="RULE",
@@ -51,10 +78,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         dest="output_format",
-        help="findings output format",
+        help="findings output format (github = Actions annotations)",
     )
     parser.add_argument(
         "--list-rules",
@@ -64,6 +91,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
 
 def _list_rules() -> int:
+    from .deep import default_deep_rules
+
     for rule in default_rules():
         scope = ", ".join(rule.packages) if rule.packages else "all packages"
         exempt = (
@@ -74,6 +103,13 @@ def _list_rules() -> int:
         print(f"{rule.name} [{rule.severity.label}] — {rule.description}")
         print(f"    scope: {scope}{exempt}")
         print(f"    why: {rule.rationale}")
+    for rule in default_deep_rules():
+        print(
+            f"{rule.name} [{rule.severity.label}] — {rule.description} "
+            f"(--deep)"
+        )
+        print("    scope: whole program")
+        print(f"    why: {rule.rationale}")
     return 0
 
 
@@ -82,21 +118,44 @@ def run(args: argparse.Namespace) -> int:
     if args.list_rules:
         return _list_rules()
 
+    deep_names: List[str] = []
+    if args.deep:
+        from .deep import DEEP_RULE_CLASSES
+
+        deep_names = [cls.name for cls in DEEP_RULE_CLASSES]
+
     if args.select:
         registry = rules_by_name()
-        unknown = [name for name in args.select if name not in registry]
+        shallow = [n for n in args.select if n in registry]
+        selected_deep = [n for n in args.select if n in deep_names]
+        unknown = [
+            n for n in args.select if n not in registry and n not in deep_names
+        ]
         if unknown:
+            available = sorted(set(registry) | set(deep_names))
             print(
                 f"unknown rule(s): {', '.join(unknown)}; "
-                f"available: {', '.join(sorted(registry))}",
+                f"available: {', '.join(available)}",
                 file=sys.stderr,
             )
             return 2
-        engine = LintEngine([registry[name]() for name in args.select])
+        engine = LintEngine([registry[name]() for name in shallow])
+        deep_selection: Optional[List[str]] = selected_deep
     else:
         engine = LintEngine()
+        deep_selection = None
 
     findings = engine.lint_paths(args.paths)
+
+    if args.deep:
+        from .deep import default_deep_rules, run_deep
+
+        deep_rules = default_deep_rules()
+        if deep_selection is not None:
+            deep_rules = [r for r in deep_rules if r.name in deep_selection]
+        findings = findings + run_deep(
+            args.paths, rules=deep_rules, cache_path=args.graph_cache
+        )
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -111,6 +170,25 @@ def run(args: argparse.Namespace) -> int:
         print(f"wrote {len(findings)} finding(s) to {target}")
         if findings:
             print("fill in each entry's justification before committing")
+        return 0
+
+    if args.update_baseline:
+        target = baseline_path or Path("reprolint-baseline.json")
+        if not target.is_file():
+            print(f"baseline not found: {target}", file=sys.stderr)
+            return 2
+        try:
+            old = Baseline.load(target)
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        migrated = old.migrated(findings)
+        migrated.save(target)
+        dropped = len(old.entries) - len(migrated.entries)
+        print(
+            f"rewrote {target} with {len(migrated.entries)} v2 entrie(s)"
+            + (f", dropped {dropped} stale" if dropped else "")
+        )
         return 0
 
     baseline = Baseline(entries=[])
@@ -137,6 +215,19 @@ def run(args: argparse.Namespace) -> int:
                 },
                 indent=2,
             )
+        )
+    elif args.output_format == "github":
+        for finding in new:
+            print(finding.format_github())
+        for entry in stale:
+            print(
+                f"::warning title=reprolint stale baseline::stale baseline "
+                f"entry {entry.rule} at {entry.path} (no longer reported "
+                f"- remove it)"
+            )
+        print(
+            f"{len(new)} new finding(s), {len(grandfathered)} grandfathered, "
+            f"{len(stale)} stale"
         )
     else:
         for finding in new:

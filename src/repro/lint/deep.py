@@ -1,0 +1,61 @@
+"""Registry and driver for the whole-program (``--deep``) passes.
+
+``repro lint --deep`` runs the per-file rules first, then builds one
+:class:`~repro.lint.project.ProjectGraph` and feeds it to every registered
+:class:`~repro.lint.project.DeepRule`.  Deep findings go through the same
+baseline/suppression machinery as per-file findings, so a justified
+grandfathered entry silences a deep finding exactly like a shallow one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Type, Union
+
+from .findings import Finding
+from .layering import LayeringContract
+from .project import (
+    DeepRule,
+    ProjectGraph,
+    load_cached_findings,
+    run_deep_rules,
+    save_cached_findings,
+    tree_fingerprint,
+)
+from .provenance import SeedProvenance
+from .unitflow import UnitFlow
+
+DEEP_RULE_CLASSES: Sequence[Type[DeepRule]] = (
+    LayeringContract,
+    SeedProvenance,
+    UnitFlow,
+)
+
+
+def default_deep_rules() -> List[DeepRule]:
+    return [cls() for cls in DEEP_RULE_CLASSES]
+
+
+def run_deep(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[DeepRule]] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+) -> List[Finding]:
+    """Deep findings for ``paths``, optionally memoized via ``cache_path``.
+
+    The cache replays findings only when the sha256 of *every* source file
+    matches the cached fingerprint, so it can never serve stale results; CI
+    uses it to share the expensive graph build between workflow steps.
+    """
+    if rules is None:
+        rules = default_deep_rules()
+    fingerprint = tree_fingerprint(paths)
+    if cache_path is not None:
+        cached = load_cached_findings(cache_path, fingerprint)
+        if cached is not None:
+            return cached
+    project = ProjectGraph.build(paths)
+    findings = run_deep_rules(project, rules)
+    if cache_path is not None:
+        save_cached_findings(cache_path, fingerprint, findings)
+    return findings

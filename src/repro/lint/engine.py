@@ -22,7 +22,17 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .findings import Finding, Severity
 
@@ -47,6 +57,78 @@ def module_name_for(path: Union[str, Path]) -> Optional[str]:
     if module.endswith(".__init__"):
         module = module[: -len(".__init__")]
     return module
+
+
+#: Simple (non-compound) statements: a disable directive on any line of one
+#: of these covers the whole statement, so multi-line calls can be suppressed
+#: by a trailing comment on any of their lines.  Compound statements (def,
+#: for, if, ...) are deliberately excluded — a directive inside a function
+#: body must not silence the entire function.
+_SIMPLE_STATEMENTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+)
+
+
+def extend_suppressions_to_statements(
+    tree: ast.Module, disabled: Dict[int, Set[str]]
+) -> Dict[int, Set[str]]:
+    """Spread directives across every line of a multi-line simple statement.
+
+    A finding anchors to the line of the AST node that fired, which for a
+    multi-line call is usually the *first* line — but the human writes the
+    ``# reprolint: disable=`` comment wherever it fits (often the last line).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STATEMENTS):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        rules: Set[str] = set()
+        for line in range(node.lineno, end + 1):
+            rules |= disabled.get(line, set())
+        if not rules:
+            continue
+        for line in range(node.lineno, end + 1):
+            disabled.setdefault(line, set()).update(rules)
+    return disabled
+
+
+def build_symbol_spans(
+    tree: ast.Module, module: Optional[str]
+) -> List[Tuple[int, int, str]]:
+    """``(start_line, end_line, qualified_symbol)`` for every def/class.
+
+    Innermost scopes come last, so :func:`symbol_for_line` can take the last
+    span containing a line.  The module name (or empty string) prefixes each
+    qualname.
+    """
+    prefix = module or ""
+    spans: List[Tuple[int, int, str]] = []
+
+    def walk(node: ast.AST, qualpath: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = f"{qualpath}.{child.name}" if qualpath else child.name
+                end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                spans.append((child.lineno, end, name))
+                walk(child, name)
+            else:
+                walk(child, qualpath)
+
+    walk(tree, "")
+    if prefix:
+        spans = [(s, e, f"{prefix}.{q}") for s, e, q in spans]
+    return spans
 
 
 def scan_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -84,6 +166,15 @@ class FileContext:
     tree: ast.Module
     source_lines: List[str] = field(default_factory=list)
     disabled: Dict[int, Set[str]] = field(default_factory=dict)
+    symbol_spans: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def symbol_for(self, line: int) -> str:
+        """Qualified symbol enclosing ``line`` (module name when top-level)."""
+        symbol = self.module or ""
+        for start, end, qualname in self.symbol_spans:
+            if start <= line <= end:
+                symbol = qualname
+        return symbol
 
     def module_in(self, packages: Sequence[str]) -> bool:
         """True when this file's module is inside any of ``packages``.
@@ -156,6 +247,7 @@ class Rule:
             message=message,
             severity=severity if severity is not None else self.severity,
             code=context.line_text(line),
+            symbol=context.symbol_for(line),
         )
 
 
@@ -202,7 +294,10 @@ class LintEngine:
             module=module,
             tree=tree,
             source_lines=source.splitlines(),
-            disabled=scan_suppressions(source),
+            disabled=extend_suppressions_to_statements(
+                tree, scan_suppressions(source)
+            ),
+            symbol_spans=build_symbol_spans(tree, module),
         )
         findings: List[Finding] = []
         for rule in self.rules:

@@ -27,7 +27,13 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic produced by a lint rule."""
+    """One diagnostic produced by a lint rule.
+
+    ``symbol`` is the fully-qualified symbol the finding sits in (module plus
+    enclosing class/function qualname, e.g.
+    ``repro.serve.driver.ServingSimulator.run``) — the refactor-stable half
+    of the baseline key alongside ``message``.
+    """
 
     rule: str
     path: str
@@ -36,11 +42,23 @@ class Finding:
     message: str
     severity: Severity = Severity.ERROR
     code: str = field(default="", compare=False)
+    symbol: str = field(default="", compare=False)
 
     def format(self) -> str:
         return (
             f"{self.path}:{self.line}:{self.col}: {self.severity.label}: "
             f"{self.message} [{self.rule}]"
+        )
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command form (inline PR annotations)."""
+        level = "error" if self.severity is Severity.ERROR else "warning"
+        # Workflow-command property values must not contain newlines or the
+        # :: delimiter; findings never do, but stay defensive.
+        message = self.message.replace("\n", " ").replace("::", ":")
+        return (
+            f"::{level} file={self.path},line={self.line},col={self.col},"
+            f"title=reprolint {self.rule}::{message}"
         )
 
     def to_json(self) -> Dict[str, Any]:
@@ -52,6 +70,7 @@ class Finding:
             "severity": self.severity.label,
             "message": self.message,
             "code": self.code,
+            "symbol": self.symbol,
         }
 
     def with_path(self, path: str) -> "Finding":

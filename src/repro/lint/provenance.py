@@ -1,0 +1,294 @@
+"""Deep pass: interprocedural seed provenance for ``default_rng`` sites.
+
+The determinism contract requires every RNG stream to be rooted in the
+experiment seed (``repro.config``), typically as
+``np.random.default_rng((seed, SALT, index))``.  The per-file
+``seeded-rng-only`` rule already rejects *argless* construction; this pass
+goes further and proves the seed expression is actually *rooted*: built from
+a seed-named value (parameter, attribute, or module salt constant), not a
+constant smuggled in or an arbitrary unrelated variable laundered through a
+helper.
+
+Atom classification over the seed expression (recursing through tuples,
+arithmetic, and local assignments):
+
+* **rooted** — names/attributes whose identifier contains ``seed``/``salt``/
+  ``entropy``/``key``, or module-level ``_SALT_*``-style constants;
+* **constant** — numeric/string literals (fine *alongside* a rooted atom —
+  that is exactly the ``(seed, SALT)`` idiom — but a seed made only of
+  constants is flagged);
+* **parameter** — a non-seed-named parameter of the enclosing function: the
+  pass follows every project call site of that function and requires each to
+  pass a rooted expression (laundering detection);
+* **unknown** — anything else (flagged: the seed cannot be proven rooted).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from .findings import Finding
+from .project import DeepRule, FunctionInfo, ModuleInfo, ProjectGraph
+from .rules import SIM_PACKAGES, resolve_dotted
+
+#: Identifier fragments that mark a value as seed-rooted by convention.
+_ROOT_TOKENS = ("seed", "salt", "entropy", "spawn_key", "rng_key")
+
+_MAX_DEPTH = 8
+
+
+def _name_is_rooted(name: str) -> bool:
+    lowered = name.lower()
+    return any(token in lowered for token in _ROOT_TOKENS)
+
+
+@dataclass
+class Atoms:
+    """Classification of every leaf of a seed expression."""
+
+    rooted: bool = False
+    constants: int = 0
+    params: List[str] = None  # type: ignore[assignment]
+    unknown: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.params is None:
+            self.params = []
+        if self.unknown is None:
+            self.unknown = []
+
+    def merge(self, other: "Atoms") -> None:
+        self.rooted = self.rooted or other.rooted
+        self.constants += other.constants
+        self.params.extend(other.params)
+        self.unknown.extend(other.unknown)
+
+
+def _local_assignments(func: Optional[FunctionInfo], tree: ast.AST) -> Dict[str, ast.AST]:
+    """Single-target assignments visible to the seed expression."""
+    scope: ast.AST = func.node if func is not None else tree
+    table: Dict[str, ast.AST] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                table[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                table[node.target.id] = node.value
+    return table
+
+
+def classify_atoms(
+    expr: ast.AST,
+    params: Set[str],
+    assignments: Dict[str, ast.AST],
+    depth: int = 0,
+    seen: Optional[Set[str]] = None,
+) -> Atoms:
+    """Classify the leaves of ``expr`` (see module docstring)."""
+    atoms = Atoms()
+    if depth > _MAX_DEPTH:
+        atoms.unknown.append("<depth limit>")
+        return atoms
+    if seen is None:
+        seen = set()
+
+    if isinstance(expr, ast.Constant):
+        if not isinstance(expr.value, (bool, type(None))):
+            atoms.constants += 1
+        return atoms
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        for elt in expr.elts:
+            atoms.merge(classify_atoms(elt, params, assignments, depth + 1, seen))
+        return atoms
+    if isinstance(expr, ast.BinOp):
+        atoms.merge(classify_atoms(expr.left, params, assignments, depth + 1, seen))
+        atoms.merge(classify_atoms(expr.right, params, assignments, depth + 1, seen))
+        return atoms
+    if isinstance(expr, ast.UnaryOp):
+        return classify_atoms(expr.operand, params, assignments, depth + 1, seen)
+    if isinstance(expr, ast.Call):
+        # hash((seed, ...)), int(seed), seq.spawn(...) — classify the pieces.
+        func_name = ""
+        if isinstance(expr.func, ast.Name):
+            func_name = expr.func.id
+        elif isinstance(expr.func, ast.Attribute):
+            func_name = expr.func.attr
+            atoms.merge(
+                classify_atoms(expr.func.value, params, assignments, depth + 1, seen)
+            )
+        if _name_is_rooted(func_name):
+            atoms.rooted = True
+        for arg in expr.args:
+            atoms.merge(classify_atoms(arg, params, assignments, depth + 1, seen))
+        for kw in expr.keywords:
+            atoms.merge(classify_atoms(kw.value, params, assignments, depth + 1, seen))
+        return atoms
+    if isinstance(expr, ast.Attribute):
+        if _name_is_rooted(expr.attr):
+            atoms.rooted = True
+            return atoms
+        return classify_atoms(expr.value, params, assignments, depth + 1, seen)
+    if isinstance(expr, ast.Name):
+        name = expr.id
+        if _name_is_rooted(name):
+            atoms.rooted = True
+            return atoms
+        if name in seen:
+            atoms.unknown.append(name)
+            return atoms
+        if name in assignments:
+            seen = seen | {name}
+            return classify_atoms(assignments[name], params, assignments, depth + 1, seen)
+        if name in params:
+            atoms.params.append(name)
+            return atoms
+        atoms.unknown.append(name)
+        return atoms
+    if isinstance(expr, ast.Subscript):
+        return classify_atoms(expr.value, params, assignments, depth + 1, seen)
+    if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+        atoms.constants += 1
+        return atoms
+    atoms.unknown.append(type(expr).__name__)
+    return atoms
+
+
+def _module_in_scope(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in SIM_PACKAGES
+    )
+
+
+class SeedProvenance(DeepRule):
+    name = "seed-provenance"
+    description = "default_rng seed not provably rooted in the experiment seed"
+    rationale = (
+        "every RNG stream must derive from the config seed plus a static "
+        "salt; a constant or laundered seed silently decouples a subsystem "
+        "from the experiment seed, so two runs with different --seed values "
+        "share 'random' draws and divergence detection goes blind"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Finding]:
+        for module_name in sorted(project.modules):
+            info = project.modules[module_name]
+            if not _module_in_scope(info.module):
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = resolve_dotted(node.func, info.imports)
+                if dotted is None or not dotted.endswith("default_rng"):
+                    continue
+                if not node.args and not node.keywords:
+                    continue  # argless: per-file seeded-rng-only owns this
+                seed_expr = node.args[0] if node.args else node.keywords[0].value
+                for finding in self._check_site(project, info, node, seed_expr):
+                    yield finding
+
+    def _check_site(
+        self,
+        project: ProjectGraph,
+        info: ModuleInfo,
+        node: ast.Call,
+        seed_expr: ast.AST,
+    ) -> Iterable[Finding]:
+        func = project.enclosing_function(info, node.lineno)
+        params = set(func.params) if func is not None else set()
+        assignments = _local_assignments(func, info.tree)
+        atoms = classify_atoms(seed_expr, params, assignments)
+
+        if atoms.rooted:
+            return
+        if atoms.unknown:
+            yield self.finding(
+                info,
+                node,
+                "seed expression cannot be proven rooted in the experiment "
+                f"seed (unresolved: {', '.join(sorted(set(atoms.unknown)))}); "
+                "derive it from a seed/salt-named value rooted in "
+                "repro.config",
+            )
+            return
+        if atoms.params:
+            # Laundering check: every project call site must pass a rooted
+            # expression for each non-seed-named parameter feeding the seed.
+            if func is None:
+                return
+            yield from self._check_callers(project, info, node, func, atoms.params)
+            return
+        if atoms.constants:
+            yield self.finding(
+                info,
+                node,
+                "constant seed: this RNG stream is decoupled from the "
+                "experiment seed; build the seed as (seed, SALT, ...) from "
+                "a value rooted in repro.config",
+            )
+
+    def _check_callers(
+        self,
+        project: ProjectGraph,
+        info: ModuleInfo,
+        node: ast.Call,
+        func: FunctionInfo,
+        seed_params: List[str],
+    ) -> Iterable[Finding]:
+        sites = project.call_sites(func.qualname)
+        if not sites:
+            yield self.finding(
+                info,
+                node,
+                f"seed flows from parameter(s) {', '.join(sorted(set(seed_params)))} "
+                f"of {func.qualname} but no project call site was found; "
+                "rename the parameter to include 'seed' to declare the "
+                "contract, or root the seed locally",
+            )
+            return
+        for site in sites:
+            caller_info = project.modules.get(site.caller_module)
+            if caller_info is None:
+                continue
+            bound = func.bind_args(site.node)
+            caller_func = project.enclosing_function(caller_info, site.line)
+            caller_params = set(caller_func.params) if caller_func else set()
+            caller_assignments = _local_assignments(caller_func, caller_info.tree)
+            for param in sorted(set(seed_params)):
+                arg = bound.get(param)
+                if arg is None:
+                    continue  # defaulted or *args — nothing to check
+                caller_atoms = classify_atoms(arg, caller_params, caller_assignments)
+                rooted = caller_atoms.rooted or (
+                    not caller_atoms.unknown
+                    and not caller_atoms.params
+                    and caller_atoms.constants == 0
+                )
+                # A caller passing its own seed-named parameter is rooted; a
+                # caller passing a literal through a NON-seed-named parameter
+                # is exactly the laundering this pass exists to catch.
+                if caller_atoms.rooted:
+                    continue
+                if caller_atoms.constants and not caller_atoms.params:
+                    yield self.finding(
+                        caller_info,
+                        site.node,
+                        f"constant passed for parameter '{param}' of "
+                        f"{func.qualname}, which feeds a default_rng seed at "
+                        f"{info.path}:{node.lineno}; the parameter is not "
+                        "seed-named, so this launders a fixed seed — pass a "
+                        "value rooted in the experiment seed or rename the "
+                        "parameter to include 'seed'",
+                    )
+                elif not rooted:
+                    yield self.finding(
+                        caller_info,
+                        site.node,
+                        f"argument for parameter '{param}' of {func.qualname} "
+                        f"(feeds the default_rng seed at {info.path}:"
+                        f"{node.lineno}) is not provably rooted in the "
+                        "experiment seed",
+                    )

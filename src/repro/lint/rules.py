@@ -29,38 +29,75 @@ while an unrelated local ``def perf_counter()`` is not.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
 from .engine import FileContext, Rule
 from .findings import Finding, Severity
 
+#: Shipped packages/modules deliberately OUTSIDE the determinism-lint scope.
+#: Every exclusion must say why — ``tests/test_lint.py`` asserts that every
+#: package :func:`discover_sim_packages` can see is either in scope or listed
+#: here with a justification, so a new module can never silently escape lint.
+EXCLUDED_PACKAGES: Dict[str, str] = {
+    "repro.lint": (
+        "the linter itself must name banned wall-clock/RNG symbols to detect "
+        "them, and the simsan runtime guard wraps numpy.random by design"
+    ),
+    "repro.obs": (
+        "scoping the obs package root would prefix-match every telemetry "
+        "submodule; the sim-contract obs submodules are listed individually "
+        "and the __init__ is recorder/session/logging wiring only"
+    ),
+    "repro.obs.metrics": (
+        "the metrics registry measures wall time by design (the telemetry "
+        "exemption pinned bit-identical-when-disabled by tests/test_obs.py)"
+    ),
+    "repro.obs.tracing": (
+        "the span recorder pairs sim time with wall time by design (same "
+        "telemetry exemption as repro.obs.metrics)"
+    ),
+    "repro.obs.export": (
+        "exporters serialize already-recorded spans/metrics to files; they "
+        "run after the simulation and never feed state back into it"
+    ),
+}
+
+
+def discover_sim_packages(root: Optional[Path] = None) -> Tuple[str, ...]:
+    """Walk ``src/repro`` and return every lintable package/module in scope.
+
+    Top-level packages (``repro.ssd``, ``repro.serve``, ...) and top-level
+    modules (``repro.config``, ``repro.cli``, ...) are one scope unit each;
+    ``repro.obs`` is enumerated per submodule because its telemetry half is
+    exempt while its analysis half (profile/health/perfdiff/digest/runs/
+    streaming: sim-clock-only, seeded, pure functions of config+seed) lives
+    under the same contract as the simulator proper.  Subtract
+    :data:`EXCLUDED_PACKAGES` and sort, so the scope is deterministic and
+    new modules are in scope by default.
+    """
+    base = root if root is not None else Path(__file__).resolve().parent.parent
+    units: Set[str] = set()
+    for entry in sorted(base.iterdir()):
+        if entry.name == "__pycache__":
+            continue
+        if entry.is_dir() and (entry / "__init__.py").is_file():
+            if entry.name == "obs":
+                units.add("repro.obs")
+                for sub in sorted(entry.glob("*.py")):
+                    if sub.name != "__init__.py":
+                        units.add(f"repro.obs.{sub.stem}")
+            else:
+                units.add(f"repro.{entry.name}")
+        elif entry.suffix == ".py" and entry.name != "__init__.py":
+            units.add(f"repro.{entry.stem}")
+    return tuple(sorted(units - set(EXCLUDED_PACKAGES)))
+
+
 #: Packages whose behavior feeds simulated timings, placement, or results.
-SIM_PACKAGES: Tuple[str, ...] = (
-    "repro.ssd",
-    "repro.core",
-    "repro.layout",
-    "repro.screening",
-    "repro.workloads",
-    "repro.baselines",
-    "repro.cfp32",
-    "repro.analysis",
-    "repro.config",
-    "repro.cli",
-    "repro.serve",
-    "repro.faults",
-    # Post-processing analyses over recorded telemetry: they consume the
-    # simulated clock only, so they live under the same contract as the
-    # simulator proper.
-    "repro.obs.profile",
-    "repro.obs.health",
-    "repro.obs.perfdiff",
-    # Run provenance and streaming telemetry: digests hash sim-clock state,
-    # the reservoir draws from a seeded stream, manifests must be pure
-    # functions of (config, seed, workload) — all squarely in-contract.
-    "repro.obs.digest",
-    "repro.obs.runs",
-    "repro.obs.streaming",
-)
+#: Auto-discovered from the shipped tree (see :func:`discover_sim_packages`)
+#: rather than hand-maintained, so a new package cannot dodge the contract.
+SIM_PACKAGES: Tuple[str, ...] = discover_sim_packages()
 
 #: Modules allowed to read the wall clock (the span recorder and metrics
 #: registry measure real time by design) or that must talk about banned

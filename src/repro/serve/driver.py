@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError, WorkloadError
+from ..lint.simsan import get_sanitizer
 from ..obs import SERVE_TRACK, get_registry, get_tracer
 from ..obs.digest import DigestRecorder
 from .admission import AdmissionConfig, AdmissionController
@@ -226,9 +227,14 @@ class ServingSimulator:
                 dispatch(now)
 
         recorder = self.digest_recorder
+        sanitizer = get_sanitizer()
 
         while heap:
-            now, kind, _, payload = heapq.heappop(heap)
+            now, kind, order, payload = heapq.heappop(heap)
+            if sanitizer.enabled:
+                # The heap tuple IS the tie-breaking contract: (time, kind,
+                # seq) must strictly increase across pops.
+                sanitizer.observe_pop("serve", now, key=(now, kind, order))
             if recorder is not None:
                 recorder.tick(
                     now,

@@ -19,6 +19,7 @@ import math
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..lint.simsan import get_sanitizer
 
 EventCallback = Callable[[], None]
 
@@ -77,6 +78,7 @@ class Simulator:
         ``until`` stops the clock at a given time even if events remain;
         ``max_events`` guards against runaway event loops.
         """
+        sanitizer = get_sanitizer()
         while self.queue:
             next_time = self.queue.peek_time()
             assert next_time is not None
@@ -84,6 +86,8 @@ class Simulator:
                 self.now = until
                 return self.now
             time, callback = self.queue.pop()
+            if sanitizer.enabled:
+                sanitizer.observe_pop("events", time)
             if time < self.now:
                 raise SimulationError(f"time went backwards: {time} < {self.now}")
             self.now = time

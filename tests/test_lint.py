@@ -18,13 +18,18 @@ from repro.cli import main as repro_main
 from repro.lint import (
     Baseline,
     BaselineError,
+    EXCLUDED_PACKAGES,
     LintEngine,
+    SIM_PACKAGES,
     default_rules,
+    discover_sim_packages,
     module_name_for,
     rules_by_name,
+    run_deep,
 )
 from repro.lint.baseline import BaselineEntry
 from repro.lint.cli import main as lint_main
+from repro.lint.findings import Finding
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SIM_MODULE = "repro.ssd.fixture"
@@ -377,6 +382,416 @@ class TestCommandLine:
         assert "no-wall-clock" in proc.stdout
 
 
+class TestEngineEdgeCases:
+    def test_lint_file_with_syntax_error_reports_parse_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings = LintEngine().lint_file(bad)
+        assert [f.rule for f in findings] == ["parse-error"]
+
+    def test_multiline_statement_disable_anywhere_on_the_statement(self):
+        # The finding anchors to the Call's line; the directive sits on the
+        # closing line of the same multi-line assignment.
+        src = (
+            "import time\n"
+            "t = (\n"
+            "    time.perf_counter()\n"
+            ")  # reprolint: disable=no-wall-clock\n"
+        )
+        assert findings_for(src) == []
+
+    def test_multiline_disable_does_not_silence_the_whole_function(self):
+        # A directive on a line of a compound statement (the def) must not
+        # suppress findings elsewhere in its body.
+        src = (
+            "import time\n"
+            "def f():  # reprolint: disable=no-wall-clock\n"
+            "    a = time.perf_counter()  # suppressed? no - different line\n"
+            "    return a\n"
+        )
+        assert len(findings_for(src)) == 1
+
+    def test_findings_inside_main_guard_are_reported(self):
+        src = (
+            "import time\n"
+            'if __name__ == "__main__":\n'
+            "    t = time.perf_counter()\n"
+        )
+        findings = findings_for(src)
+        assert [f.rule for f in findings] == ["no-wall-clock"]
+        assert findings[0].line == 3
+        # top-level code: the symbol is the module itself
+        assert findings[0].symbol == SIM_MODULE
+
+    def test_symbol_is_qualified_for_nested_scopes(self):
+        src = (
+            "import time\n"
+            "class Clock:\n"
+            "    def read(self):\n"
+            "        return time.perf_counter()\n"
+        )
+        [finding] = findings_for(src)
+        assert finding.symbol == f"{SIM_MODULE}.Clock.read"
+
+
+class TestSimPackageDiscovery:
+    def test_every_shipped_unit_is_covered_or_excluded(self):
+        src_root = REPO_ROOT / "src" / "repro"
+        units = set()
+        for child in src_root.iterdir():
+            if child.is_dir() and (child / "__init__.py").is_file():
+                units.add(f"repro.{child.name}")
+            elif child.suffix == ".py" and child.name != "__init__.py":
+                units.add(f"repro.{child.stem}")
+        for unit in sorted(units):
+            covered = unit in SIM_PACKAGES or any(
+                pkg.startswith(unit + ".") for pkg in SIM_PACKAGES
+            )
+            excluded = unit in EXCLUDED_PACKAGES
+            assert covered or excluded, (
+                f"{unit} is neither in SIM_PACKAGES nor excluded with a "
+                f"justification in EXCLUDED_PACKAGES"
+            )
+
+    def test_exclusions_carry_real_justifications(self):
+        for pkg, why in EXCLUDED_PACKAGES.items():
+            assert len(why) > 20, f"{pkg} exclusion needs a real justification"
+
+    def test_discovery_tracks_new_packages(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "newpkg").mkdir(parents=True)
+        (root / "__init__.py").write_text("")
+        (root / "newpkg" / "__init__.py").write_text("")
+        assert "repro.newpkg" in discover_sim_packages(root)
+
+    def test_shipped_discovery_matches_module_constant(self):
+        assert SIM_PACKAGES == discover_sim_packages()
+
+
+def _deep_tree(tmp_path, files):
+    """Materialize a mini ``repro`` package tree for the deep passes."""
+    root = tmp_path / "repro"
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(src)
+        init = path.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    if not (root / "__init__.py").exists():
+        (root / "__init__.py").write_text("")
+    return root
+
+
+class TestLayeringContract:
+    def test_back_edge_is_flagged(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": "from repro.serve import something\n",
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["layering-contract"]
+        assert "repro.ssd may not import repro.serve" in findings[0].message
+
+    def test_allowed_edges_are_clean(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "serve/ok.py": (
+                "from repro.core import thing\n"
+                "from repro.units import us\n"
+                "from repro.obs import get_tracer\n"
+            ),
+            "ssd/ok.py": "from repro.faults import plan\n",
+            "core/__init__.py": "",
+            "faults/__init__.py": "",
+        })
+        assert run_deep([root]) == []
+
+    def test_nothing_may_import_cli(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "serve/bad.py": "from repro import cli\n",
+            "cli.py": "",
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["layering-contract"]
+
+    def test_inline_suppression_applies_to_deep_findings(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": (
+                "from repro.serve import x  "
+                "# reprolint: disable=layering-contract\n"
+            ),
+        })
+        assert run_deep([root]) == []
+
+
+class TestSeedProvenance:
+    def test_constant_seed_is_flagged(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "workloads/bad.py": (
+                "import numpy as np\n"
+                "def draw(n):\n"
+                "    return np.random.default_rng(1234).random(n)\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["seed-provenance"]
+        assert "constant seed" in findings[0].message
+
+    def test_laundered_seed_caught_at_the_call_site(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "workloads/bad.py": (
+                "import numpy as np\n"
+                "def helper(ident):\n"
+                "    return np.random.default_rng((ident, 0x5A17))\n"
+                "def launder():\n"
+                "    return helper(42)\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["seed-provenance"]
+        assert "launders" in findings[0].message
+        assert findings[0].symbol.endswith("launder")
+
+    def test_rooted_seeds_are_clean(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "workloads/ok.py": (
+                "import numpy as np\n"
+                "_SALT = 0xEC55D\n"
+                "def stream(seed, index):\n"
+                "    return np.random.default_rng((seed, _SALT, index))\n"
+                "def from_config(config):\n"
+                "    return np.random.default_rng((config.seed, 7))\n"
+                "def caller(seed):\n"
+                "    return stream(seed, 3)\n"
+            ),
+        })
+        assert run_deep([root]) == []
+
+
+class TestUnitFlow:
+    def test_dimension_mixing_is_flagged(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "ssd/bad.py": (
+                "from repro.units import ms, gbps\n"
+                "def f():\n"
+                "    return ms(5) + gbps(2)\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["unit-flow"]
+        assert "mixing dimensions" in findings[0].message
+
+    def test_swapped_transfer_time_args_flagged(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "ssd/bad.py": (
+                "from repro.units import transfer_time\n"
+                "def f(num_bytes, bandwidth_bps):\n"
+                "    return transfer_time(bandwidth_bps, num_bytes)\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert len(findings) == 2  # both positions are wrong
+        assert {f.rule for f in findings} == {"unit-flow"}
+
+    def test_double_unit_conversion_flagged(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "ssd/bad.py": (
+                "from repro.units import ms\n"
+                "def f():\n"
+                "    return ms(ms(1))\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["unit-flow"]
+        assert "double unit conversion" in findings[0].message
+
+    def test_cross_module_raw_literal_for_seconds_param(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "core/sched.py": (
+                "def reserve(start_s, duration_s):\n"
+                "    return start_s + duration_s\n"
+            ),
+            "serve/bad.py": (
+                "from repro.core.sched import reserve\n"
+                "def f(start_s):\n"
+                "    return reserve(start_s, 0.005)\n"
+            ),
+        })
+        findings = run_deep([root])
+        assert [f.rule for f in findings] == ["unit-flow"]
+        assert "raw numeric literal" in findings[0].message
+
+    def test_correct_unit_flow_is_clean(self, tmp_path):
+        root = _deep_tree(tmp_path, {
+            "core/sched.py": (
+                "def reserve(start_s, duration_s):\n"
+                "    return start_s + duration_s\n"
+            ),
+            "serve/ok.py": (
+                "from repro.units import ms, us, gbps, transfer_time\n"
+                "from repro.core.sched import reserve\n"
+                "def f(num_bytes, start_s):\n"
+                "    latency = transfer_time(num_bytes, gbps(3.2))\n"
+                "    total = latency + ms(1)\n"
+                "    return reserve(start_s, total + us(5))\n"
+            ),
+        })
+        assert run_deep([root]) == []
+
+
+class TestBaselineV2:
+    def _finding(self, **kwargs):
+        defaults = dict(
+            rule="no-wall-clock",
+            path="src/repro/ssd/x.py",
+            line=10,
+            col=4,
+            message="wall-clock read",
+            symbol="repro.ssd.x.Clock.read",
+        )
+        defaults.update(kwargs)
+        return Finding(**defaults)
+
+    def test_v2_entry_matches_despite_line_and_path_drift(self):
+        entry = BaselineEntry(
+            rule="no-wall-clock",
+            path="old/location.py",
+            justification="kept deliberately for this test",
+            symbol="repro.ssd.x.Clock.read",
+            message="wall-clock read",
+            line=999,
+        )
+        finding = self._finding()
+        assert entry.matches(finding)
+        assert not entry.matches(self._finding(message="other message"))
+        assert not entry.matches(self._finding(symbol="repro.ssd.x.other"))
+
+    def test_legacy_v1_entry_still_matches_on_code(self):
+        entry = BaselineEntry(
+            rule="no-wall-clock",
+            path="src/repro/ssd/x.py",
+            justification="kept deliberately for this test",
+            code="t = time.time()",
+        )
+        assert entry.is_v2 is False
+        assert entry.matches(self._finding(code="t = time.time()"))
+
+    def test_migrated_rekeys_on_symbol_and_message(self):
+        finding = self._finding(code="t = time.time()")
+        legacy = Baseline(entries=[
+            BaselineEntry(
+                rule="no-wall-clock",
+                path="src/repro/ssd/x.py",
+                justification="kept: exercised by test",
+                code="t = time.time()",
+            ),
+            BaselineEntry(
+                rule="no-wall-clock",
+                path="gone.py",
+                justification="stale entry to drop",
+                code="dead",
+            ),
+        ])
+        migrated = legacy.migrated([finding])
+        assert len(migrated.entries) == 1
+        entry = migrated.entries[0]
+        assert entry.is_v2
+        assert entry.symbol == finding.symbol
+        assert entry.message == finding.message
+        assert entry.justification == "kept: exercised by test"
+
+    def test_update_baseline_cli_round_trip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        payload = json.loads(baseline.read_text())
+        for entry in payload["entries"]:
+            entry["justification"] = "kept: exercised by test"
+        baseline.write_text(json.dumps(payload))
+        assert lint_main(
+            [str(tmp_path), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        migrated = json.loads(baseline.read_text())
+        assert migrated["version"] == 2
+        assert migrated["entries"][0]["symbol"].endswith("stamp")
+        # Line drift must not break matching any more: move the finding.
+        bad.write_text(
+            "import time\n\n\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+
+class TestDeepCommandLine:
+    def test_deep_flag_reports_deep_findings(self, tmp_path, capsys):
+        _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": "from repro.serve import x\n",
+        })
+        assert lint_main(
+            [str(tmp_path / "repro"), "--no-baseline", "--deep"]
+        ) == 1
+        assert "layering-contract" in capsys.readouterr().out
+
+    def test_without_deep_flag_deep_rules_stay_off(self, tmp_path):
+        _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": "from repro.serve import x\n",
+        })
+        assert lint_main([str(tmp_path / "repro"), "--no-baseline"]) == 0
+
+    def test_github_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+        assert lint_main(
+            [str(tmp_path), "--no-baseline", "--format", "github"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=reprolint no-wall-clock" in out
+        assert "line=4" in out
+
+    def test_graph_cache_replays_and_invalidates(self, tmp_path, capsys):
+        root = _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": "from repro.serve import x\n",
+        })
+        cache = tmp_path / "graph-cache.json"
+        args = [str(root), "--no-baseline", "--deep",
+                "--graph-cache", str(cache)]
+        assert lint_main(args) == 1
+        assert cache.is_file()
+        fingerprint = json.loads(cache.read_text())["files"]
+        assert lint_main(args) == 1  # replayed from cache, same verdict
+        assert json.loads(cache.read_text())["files"] == fingerprint
+        # Fixing the file invalidates the cache and the finding disappears.
+        (root / "ssd" / "bad.py").write_text("from repro.units import us\n")
+        assert lint_main(args) == 0
+
+    def test_select_deep_rule_by_name(self, tmp_path, capsys):
+        root = _deep_tree(tmp_path, {
+            "serve/__init__.py": "",
+            "ssd/bad.py": "from repro.serve import x\n",
+        })
+        assert lint_main(
+            [str(root), "--no-baseline", "--deep",
+             "--select", "layering-contract"]
+        ) == 1
+        assert lint_main(
+            [str(root), "--no-baseline", "--deep",
+             "--select", "seed-provenance"]
+        ) == 0
+
+    def test_list_rules_includes_deep_passes(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("layering-contract", "seed-provenance", "unit-flow"):
+            assert name in out
+
+
 class TestShippedTree:
     def test_src_repro_is_clean_modulo_baseline(self):
         engine = LintEngine()
@@ -386,3 +801,17 @@ class TestShippedTree:
         assert new == [], [f.format() for f in new]
         stale = baseline.unused_entries(findings)
         assert stale == [], [e.to_json() for e in stale]
+
+    def test_deep_passes_are_clean_on_the_shipped_tree(self):
+        findings = run_deep([REPO_ROOT / "src" / "repro"])
+        baseline = Baseline.load(REPO_ROOT / "reprolint-baseline.json")
+        new, _grandfathered = baseline.split(findings)
+        assert new == [], [f.format() for f in new]
+
+    def test_shipped_baseline_is_v2(self):
+        payload = json.loads(
+            (REPO_ROOT / "reprolint-baseline.json").read_text()
+        )
+        assert payload["version"] == 2
+        for entry in payload["entries"]:
+            assert entry["symbol"] or entry["message"]
