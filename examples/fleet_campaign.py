@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A fleet failover campaign: crashes, a partition, and zero lost requests.
+
+`repro.cluster` runs many service nodes and replicated data nodes as one
+deterministic discrete-event simulation.  This example builds an
+8-data-node / 2-service-node fleet, replays the same Poisson stream twice —
+once on a healthy fleet, once under a seeded fault campaign (two node
+crashes, a rack partition, two slow-node brownouts) — and shows what the
+placement and failover machinery buy: every request still completes or is
+shed explicitly, the analytic shard outage stays at zero because replicas
+are rack-spread, and the failover timeline lists each park / redispatch /
+unpark decision in event order.
+
+Run:  python examples/fleet_campaign.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.cluster import ClusterConfig, build_cluster, cluster_saturating_rate
+from repro.faults import ClusterFaultConfig
+from repro.serve import AffineServiceModel
+from repro.workloads.streams import poisson_arrivals
+
+SLO_S = 0.05  # 50 ms fleet latency budget
+NUM_REQUESTS = 12_000
+SEED = 7
+
+
+def main() -> None:
+    # A fast affine service model (0.5 ms setup + 20 us/query, knee 16);
+    # swap in AffineServiceModel.from_batch_points(...) to calibrate from a
+    # real Table 3 benchmark like `python -m repro cluster` does.
+    service = AffineServiceModel(base=5e-4, per_query=2e-5, knee=16)
+    config = ClusterConfig(
+        data_nodes=8,
+        service_nodes=2,
+        shards=4,
+        replicas=12,
+        racks=2,
+        slots_per_node=2,
+        slo=SLO_S,
+    )
+    capacity = cluster_saturating_rate(service, config)
+    rate = 0.8 * capacity
+    arrivals = poisson_arrivals(rate, NUM_REQUESTS, seed=SEED)
+    span = float(arrivals[-1])
+    print(f"=== Fleet: {config.data_nodes} data + {config.service_nodes}"
+          f" service nodes, {config.shards} shards x"
+          f" {config.replicas // config.shards} replicas,"
+          f" SLO {SLO_S * 1e3:.0f} ms ===")
+    print(f"    saturates at {capacity:,.0f} q/s; offering"
+          f" {rate:,.0f} q/s over {span * 1e3:.0f} ms of arrivals\n")
+
+    campaigns = {
+        "healthy": ClusterFaultConfig.disabled(),
+        "faulted": ClusterFaultConfig(
+            seed=SEED,
+            node_crashes=2,
+            crash_duration=0.25 * span,
+            partitions=1,
+            partition_duration=0.10 * span,
+            slow_nodes=2,
+            slow_duration=0.30 * span,
+            horizon=0.80 * span,
+        ),
+    }
+    rows = []
+    reports = {}
+    for name, fault_config in campaigns.items():
+        simulator = build_cluster(
+            service, config, seed=SEED, fault_config=fault_config
+        )
+        report = simulator.run(arrivals)
+        reports[name] = report
+        rows.append([
+            name,
+            f"{report.completed:,}",
+            f"{report.shed_rate:.1%}",
+            f"{report.cache_hit_rate:.1%}",
+            f"{report.p99 * 1e3:.2f} ms",
+            f"{report.slo_attainment:.1%}",
+            f"{report.steals}",
+            f"{report.redispatches + report.parked_events}",
+            f"{report.failover_downtime:.3f} s",
+        ])
+    print(render_table(
+        ["campaign", "completed", "shed", "cache", "p99", "SLO",
+         "steals", "failovers", "shard outage"],
+        rows,
+    ))
+
+    timeline = reports["faulted"].failover_timeline
+    print(f"\nFailover timeline ({len(timeline)} events):")
+    for event in timeline[:10]:
+        arrow = ("parked" if event.to_node < 0
+                 else f"node {event.from_node} -> {event.to_node}")
+        print(f"  t={event.time * 1e3:8.3f} ms  {event.action:<10}"
+              f" shard {event.shard}  task {event.task_id}  ({arrow})")
+    if len(timeline) > 10:
+        print(f"  ... {len(timeline) - 10} more")
+
+    print(
+        "\nEvery arrival is accounted for (completed + shed == arrived) in"
+        " both campaigns, and the shard outage stays at 0.000 s: rack-spread"
+        "\nplacement means no crash schedule takes every replica of a shard"
+        " down at once, so tasks fail over instead of waiting.  Rerun this"
+        "\nscript — same seed, same timeline, byte for byte."
+    )
+
+
+if __name__ == "__main__":
+    main()

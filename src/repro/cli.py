@@ -15,6 +15,9 @@ Gives the reproduction a front door that requires no Python:
 * ``python -m repro serve`` — replay a Poisson arrival stream through the
   SLO-aware serving layer (admission, deadline batching, degradation,
   replica routing) and print goodput / shed rate / latency percentiles;
+* ``python -m repro cluster`` — simulate a whole fleet (stateless service
+  nodes over replicated data nodes) with placement, failover, work stealing,
+  autoscaling, and injectable node/interconnect faults;
 * ``python -m repro faults`` — sweep the fault-injection matrix (RBER scales
   x fault classes) and report top-k retention, latency, and SSD read cost;
 * ``python -m repro profile`` — run an instrumented inference and print the
@@ -474,6 +477,174 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _simsan_finish(sanitizer)
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Simulate a fleet of service/data nodes under load and faults."""
+    import json
+
+    from .analysis.reporting import format_seconds, render_table
+    from .cluster import ClusterConfig, build_cluster, cluster_saturating_rate
+    from .core.batching import BatchingAnalyzer
+    from .faults import ClusterFaultConfig
+    from .serve import AffineServiceModel, shard_hot_degrees
+    from .workloads.benchmarks import get_benchmark
+    from .workloads.streams import poisson_arrivals
+    from .workloads.traces import CandidateTraceGenerator, LabelHotnessModel
+
+    spec = get_benchmark(args.benchmark)
+    slo = args.slo_ms / 1000.0
+
+    # Same calibration path as ``serve``: fit the affine service model from
+    # a real batch sweep so fleet timing rests on measured tile costs.
+    hotness = LabelHotnessModel(
+        num_labels=spec.num_labels, run_length=1, seed=args.seed
+    )
+    generator = CandidateTraceGenerator(
+        hotness, candidate_ratio=0.10, query_noise=0.05
+    )
+    analyzer = BatchingAnalyzer(spec, generator, sample_tiles=args.tiles)
+    points = analyzer.sweep((1, 2, 4, 8, 16, 32))
+    service = AffineServiceModel.from_batch_points(points)
+
+    config = ClusterConfig(
+        data_nodes=args.nodes,
+        service_nodes=args.service_nodes,
+        shards=args.shards,
+        replicas=args.replicas,
+        racks=args.racks,
+        slots_per_node=args.slots,
+        slo=slo,
+    )
+    degrees = shard_hot_degrees(generator, args.shards, tile_size=512)
+
+    capacity = cluster_saturating_rate(service, config)
+    rate = args.rate if args.rate is not None else capacity
+    arrivals = poisson_arrivals(rate, args.requests, seed=args.seed)
+    horizon = float(arrivals[-1])
+
+    fault_config = None
+    if args.fault_plan:
+        fault_config = ClusterFaultConfig.from_spec(
+            args.fault_plan, seed=args.seed, horizon=horizon
+        )
+
+    recorder = None
+    if args.run_dir:
+        from .obs.digest import DigestRecorder
+
+        recorder = DigestRecorder(interval=args.digest_interval, label="cluster")
+    simulator = build_cluster(
+        service,
+        config,
+        seed=args.seed,
+        fault_config=fault_config,
+        hot_degrees=degrees,
+        digest_recorder=recorder,
+    )
+
+    session = _session_from_args(args)
+    try:
+        with _simsan_context(args) as sanitizer:
+            report = simulator.run(arrivals)
+    finally:
+        _finish_session(session, replay_flash=False)
+
+    summary = report.to_dict()
+    rows = [
+        ["offered load", f"{rate:,.0f} q/s ({rate / capacity:.2f}x saturation)"],
+        ["fleet", f"{args.service_nodes} service + {args.nodes} data nodes, "
+                  f"{args.racks} racks, {args.slots} slots/node"],
+        ["placement", f"{args.shards} shards x "
+                      f"{simulator.placement.total_replicas / args.shards:.1f} "
+                      f"mean replicas"],
+        ["arrived / completed / shed",
+         f"{report.arrived} / {report.completed} / {report.shed}"],
+        ["shed rate", f"{report.shed_rate:.2%}"],
+        ["cache hit rate", f"{report.cache_hit_rate:.2%}"],
+        ["goodput", f"{report.goodput:,.0f} q/s within SLO"],
+        ["SLO attainment", f"{report.slo_attainment:.2%} of completed"],
+    ]
+    for label in ("p50", "p95", "p99"):
+        value = summary[f"{label}_s"]
+        rows.append([
+            f"{label} latency",
+            "-" if value is None
+            else f"{format_seconds(value)} (SLO {format_seconds(slo)})",
+        ])
+    rows.append(["batches / shard tasks",
+                 f"{report.batches} / {report.tasks_done}"])
+    rows.append(["work stealing",
+                 f"{report.steals} tasks ({report.steal_rate:.2%})"])
+    rows.append(["failover",
+                 f"{report.redispatches} redispatched, "
+                 f"{report.parked_events} parked "
+                 f"({format_seconds(report.parked_time)} total)"])
+    rows.append(["shard outage",
+                 f"{format_seconds(report.failover_downtime)} with no live "
+                 f"replica"])
+    rows.append(["autoscaling",
+                 f"{report.scale_ups} up / {report.scale_downs} down "
+                 f"(peak {report.peak_active_service_nodes} active)"])
+    rows.append(["utilization skew", f"{report.utilization_skew:.2f}x"])
+    print(render_table(
+        ["quantity", "value"], rows,
+        title=f"Fleet {args.benchmark}: {args.nodes} data nodes, "
+              f"{args.replicas} replicas, SLO {args.slo_ms:g}ms",
+    ))
+
+    if args.out:
+        payload = {
+            "benchmark": args.benchmark,
+            "seed": args.seed,
+            "rate_qps": rate,
+            "saturating_rate_qps": capacity,
+            "requests": args.requests,
+            "fault_plan": (
+                simulator.fault_plan.to_dict() if fault_config else None
+            ),
+            "service": {
+                "base_s": service.base,
+                "per_query_s": service.per_query,
+                "knee": service.knee,
+            },
+            "placement": simulator.placement.to_dict(),
+            "report": summary,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.run_dir:
+        artifacts = {}
+        if args.out:
+            artifacts["summary"] = args.out
+        _register_run(
+            args.run_dir,
+            label=f"cluster/{args.benchmark}",
+            seed=args.seed,
+            config={
+                "benchmark": args.benchmark,
+                "slo_ms": args.slo_ms,
+                "data_nodes": args.nodes,
+                "service_nodes": args.service_nodes,
+                "shards": args.shards,
+                "replicas": args.replicas,
+                "racks": args.racks,
+                "slots_per_node": args.slots,
+                "fault_plan": args.fault_plan,
+                "rate_qps": rate,
+            },
+            workload={
+                "kind": "poisson",
+                "rate_qps": rate,
+                "num_queries": args.requests,
+            },
+            metrics=summary,
+            digests=recorder.entries if recorder is not None else None,
+            artifacts=artifacts,
+        )
+    return _simsan_finish(sanitizer)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Run the fault-injection matrix and print/write its report."""
     import json
@@ -863,6 +1034,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(serve)
     _add_verbose(serve)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="simulate a fleet of service/data nodes with replica failover",
+    )
+    cluster.add_argument(
+        "--benchmark", default="GNMT-E32K", help="Table 3 benchmark name"
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=8, help="data (storage) nodes in the fleet"
+    )
+    cluster.add_argument(
+        "--service-nodes", type=int, default=4,
+        help="stateless service (request-plane) nodes",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=4, help="label-space shards"
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=24,
+        help="total shard-replica instances placed on data nodes",
+    )
+    cluster.add_argument(
+        "--racks", type=int, default=2, help="racks (fault domains)"
+    )
+    cluster.add_argument(
+        "--slots", type=int, default=2,
+        help="concurrent shard tasks per data node",
+    )
+    cluster.add_argument(
+        "--rate", type=float, default=None,
+        help="offered load in queries/s (default: the fleet saturating rate)",
+    )
+    cluster.add_argument(
+        "--requests", type=int, default=1_000_000,
+        help="arrivals to replay through the fleet",
+    )
+    cluster.add_argument(
+        "--slo-ms", type=float, default=50.0, help="latency SLO in milliseconds"
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="cluster fault classes to inject, e.g. "
+             "'node-crash=2,partition=1,slow-node=2'",
+    )
+    cluster.add_argument(
+        "--tiles", type=int, default=4,
+        help="sample tiles for service-model calibration",
+    )
+    cluster.add_argument(
+        "--out", default=None, help="write the run summary as JSON"
+    )
+    cluster.add_argument(
+        "--run-dir", default=None,
+        help="register a run manifest (with a digest track) in this directory",
+    )
+    cluster.add_argument(
+        "--digest-interval", type=int, default=4096,
+        help="event-loop steps between state digests (with --run-dir)",
+    )
+    _add_simsan(cluster)
+    _add_observability_flags(cluster)
+    _add_verbose(cluster)
+
     profile = sub.add_parser(
         "profile",
         help="run an instrumented inference and print its critical-path "
@@ -999,6 +1234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "validate": _cmd_validate,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "faults": _cmd_faults,
         "profile": _cmd_profile,
         "perf-diff": _cmd_perf_diff,

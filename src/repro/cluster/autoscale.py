@@ -1,0 +1,121 @@
+"""Elastic service-node autoscaling driven by the SLO burn rate.
+
+The autoscaler reuses the exact paging rule the observability layer's
+health monitor applies after a run (:class:`~repro.obs.health.BurnRatePolicy`
+over an :class:`~repro.obs.health.SloObjective`): the error budget is
+``1 - target`` of requests allowed to go *bad* (miss the deadline or get
+shed), and the burn rate is the budget-normalized bad fraction over a
+rolling sim-time window.  Both the fast window (is it bad right now?) and
+the slow window (has it been bad long enough to matter?) must exceed the
+threshold to scale **up**; both must sit far below it (a quarter of the
+threshold — hysteresis) to scale **down**.  One step per evaluation, so the
+evaluation interval doubles as the cooldown.
+
+The controller is a pure function of the completion/shed stream it has
+observed — no wall clock, no RNG — so the active-node trajectory is
+bit-identical per seed.  Window accounting is incremental (two head
+pointers over one append-only event list), so a million-request run pays
+O(1) amortized per observation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..obs.health import BurnRatePolicy, SloObjective
+
+#: Scale-down hysteresis: both burn windows must sit below ``threshold *
+#: SCALE_DOWN_FRACTION`` before a node is released.
+SCALE_DOWN_FRACTION = 0.25
+
+
+class Autoscaler:
+    """Burn-rate-driven controller for the active service-node count."""
+
+    def __init__(
+        self,
+        slo: float,
+        min_nodes: int,
+        max_nodes: int,
+        objective: SloObjective = SloObjective(),
+        policy: BurnRatePolicy = BurnRatePolicy(),
+    ) -> None:
+        if slo <= 0:
+            raise ConfigurationError("slo must be positive")
+        if not 1 <= min_nodes <= max_nodes:
+            raise ConfigurationError(
+                f"need 1 <= min_nodes <= max_nodes, got "
+                f"[{min_nodes}, {max_nodes}]"
+            )
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.objective = objective
+        self.policy = policy
+        self.fast_window, self.slow_window = policy.resolve_windows(slo)
+        # (event sim time, was the outcome bad) — sheds and deadline misses
+        # are both budget burn.  Append-only; the two head pointers walk
+        # forward as windows expire, so nothing is ever re-scanned.
+        self._events: List[Tuple[float, bool]] = []
+        self._fast_head = 0
+        self._slow_head = 0
+        self._fast_total = 0
+        self._fast_bad = 0
+        self._slow_total = 0
+        self._slow_bad = 0
+        self.peak_burn_fast = 0.0
+        self.peak_burn_slow = 0.0
+
+    def observe(self, time: float, bad: bool) -> None:
+        """Record one request outcome (completion or shed) at ``time``."""
+        self._events.append((time, bad))
+        self._fast_total += 1
+        self._slow_total += 1
+        if bad:
+            self._fast_bad += 1
+            self._slow_bad += 1
+
+    def _expire(self, now: float) -> None:
+        events = self._events
+        fast_start = now - self.fast_window
+        head = self._fast_head
+        while head < len(events) and events[head][0] < fast_start:
+            self._fast_total -= 1
+            if events[head][1]:
+                self._fast_bad -= 1
+            head += 1
+        self._fast_head = head
+        slow_start = now - self.slow_window
+        head = self._slow_head
+        while head < len(events) and events[head][0] < slow_start:
+            self._slow_total -= 1
+            if events[head][1]:
+                self._slow_bad -= 1
+            head += 1
+        self._slow_head = head
+        # Compact the consumed prefix so a million-request run stays at
+        # window-sized memory, not run-sized.
+        if self._slow_head > 65536:
+            del self._events[: self._slow_head]
+            self._fast_head -= self._slow_head
+            self._slow_head = 0
+
+    def _burn(self, bad: int, total: int) -> float:
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.objective.budget
+
+    def decide(self, now: float, active: int) -> int:
+        """The target active-node count after one evaluation at ``now``."""
+        self._expire(now)
+        fast = self._burn(self._fast_bad, self._fast_total)
+        slow = self._burn(self._slow_bad, self._slow_total)
+        self.peak_burn_fast = max(self.peak_burn_fast, fast)
+        self.peak_burn_slow = max(self.peak_burn_slow, slow)
+        threshold = self.policy.threshold
+        if fast > threshold and slow > threshold:
+            return min(active + 1, self.max_nodes)
+        down_bar = threshold * SCALE_DOWN_FRACTION
+        if fast < down_bar and slow < down_bar:
+            return max(active - 1, self.min_nodes)
+        return active

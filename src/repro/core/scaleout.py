@@ -226,6 +226,11 @@ def merge_topk(
     and get shifted by their shard's offset.  Because shards partition the
     label space, the global top-k is contained in the union of local
     top-k's — the merge is exact, not approximate.
+
+    Ties rank under a *total* order on (score desc, global label id asc), so
+    the result is independent of the order shards are listed in — a cluster
+    merging replies as they arrive gets the same answer as one merging in
+    shard-index order.
     """
     if not shard_labels:
         raise ConfigurationError("merge_topk needs at least one shard")
@@ -240,7 +245,9 @@ def merge_topk(
     out_labels = np.empty((batch, k), dtype=np.int64)
     out_scores = np.empty((batch, k), dtype=scores.dtype)
     for q in range(batch):
-        order = np.argsort(scores[q])[::-1][:k]
+        # lexsort: last key is primary — score descending, label ascending
+        # breaks exact-score ties deterministically across shard orderings.
+        order = np.lexsort((labels[q], -scores[q]))[:k]
         out_labels[q] = labels[q][order]
         out_scores[q] = scores[q][order]
     return out_labels, out_scores

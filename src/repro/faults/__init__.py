@@ -27,7 +27,17 @@ Layout:
 from __future__ import annotations
 
 from .model import EccConfig, EccModel, EccOutcome, EccTier, RberModel
-from .plan import FaultConfig, FaultPlan, OfflineWindow, hash_uniform
+from .plan import (
+    ClusterFaultConfig,
+    ClusterFaultPlan,
+    FaultConfig,
+    FaultPlan,
+    NodeCrashWindow,
+    OfflineWindow,
+    PartitionWindow,
+    SlowNodeWindow,
+    hash_uniform,
+)
 from .injector import (
     FAULT_TRACK,
     FaultInjector,
@@ -48,6 +58,11 @@ __all__ = [
     "FaultConfig",
     "FaultPlan",
     "OfflineWindow",
+    "ClusterFaultConfig",
+    "ClusterFaultPlan",
+    "NodeCrashWindow",
+    "PartitionWindow",
+    "SlowNodeWindow",
     "hash_uniform",
     "FAULT_TRACK",
     "FaultInjector",

@@ -37,6 +37,10 @@ _HASH_MODULUS = 2 ** 32
 # Salt values for the independent seeded RNG sub-streams of one plan.
 _SALT_OFFLINE = 1
 _SALT_DRAM = 2
+# (salt 3 is reserved by FaultPlan.command_times_out's hash stream)
+_SALT_NODE_CRASH = 4
+_SALT_PARTITION = 5
+_SALT_SLOW_NODE = 6
 
 
 def hash_uniform(entity: int, seed: int, salt: int = 0) -> float:
@@ -230,5 +234,297 @@ class FaultPlan:
             ],
             "dram_flips": int(self.dram_flip_fractions.size),
             "timeout_rate": self.config.timeout_rate,
+            "seed": self.config.seed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level (node/interconnect) fault classes
+# ---------------------------------------------------------------------------
+
+# State-change edge kinds emitted by :meth:`ClusterFaultPlan.edges`, in
+# tie-break order at equal timestamps: a node must come *up* before a
+# same-instant crash elsewhere is processed, so recovery never races a
+# re-dispatch decision made in the same event-loop pop.
+EDGE_NODE_UP = 0
+EDGE_NODE_DOWN = 1
+EDGE_PARTITION_HEAL = 2
+EDGE_PARTITION_START = 3
+EDGE_SLOW_END = 4
+EDGE_SLOW_START = 5
+
+
+@dataclass(frozen=True)
+class ClusterFaultConfig:
+    """Knobs for the fleet-level fault classes the cluster simulator injects.
+
+    Counts say *how many* windows of each class the plan materializes over
+    ``horizon`` simulated seconds; durations and the slow-node ``slow_factor``
+    say how bad each window is.  :meth:`disabled` is the inert default; the
+    ``repro cluster`` CLI builds one from a ``--fault-plan`` spec string via
+    :meth:`from_spec`.
+    """
+
+    enabled: bool = True
+    seed: int = 0
+    node_crashes: int = 0
+    crash_duration: float = 0.5
+    partitions: int = 0
+    partition_duration: float = 0.25
+    slow_nodes: int = 0
+    slow_duration: float = 1.0
+    slow_factor: float = 3.0
+    horizon: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.node_crashes < 0 or self.partitions < 0 or self.slow_nodes < 0:
+            raise ConfigurationError("cluster fault counts cannot be negative")
+        if self.crash_duration < 0 or self.partition_duration < 0:
+            raise ConfigurationError("cluster fault durations cannot be negative")
+        if self.slow_duration < 0:
+            raise ConfigurationError("slow_duration cannot be negative")
+        if self.slow_factor < 1.0:
+            raise ConfigurationError("slow_factor must be >= 1 (1 = no brownout)")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+
+    @classmethod
+    def disabled(cls) -> "ClusterFaultConfig":
+        """The zero-overhead default: no cluster faults are materialized."""
+        return cls(enabled=False)
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, seed: int, horizon: float
+    ) -> "ClusterFaultConfig":
+        """Parse a ``node-crash=2,partition=1,slow-node=2`` CLI spec string."""
+        counts = {"node-crash": 0, "partition": 0, "slow-node": 0}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad fault-plan entry {part!r}: expected class=count"
+                )
+            name, _, raw = part.partition("=")
+            name = name.strip()
+            if name not in counts:
+                raise ConfigurationError(
+                    f"unknown cluster fault class {name!r}; "
+                    f"expected one of {sorted(counts)}"
+                )
+            try:
+                counts[name] = int(raw)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad count for fault class {name!r}: {raw!r}"
+                ) from exc
+        return cls(
+            seed=seed,
+            horizon=horizon,
+            node_crashes=counts["node-crash"],
+            partitions=counts["partition"],
+            slow_nodes=counts["slow-node"],
+        )
+
+
+@dataclass(frozen=True)
+class NodeCrashWindow:
+    """One window during which a data node is down (crash-stop, then reboot)."""
+
+    node: int
+    start: float
+    end: float
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One window during which two racks cannot reach each other.
+
+    ``rack_a < rack_b`` always; nodes inside the same rack stay connected,
+    and racks outside the pair are unaffected (single-link failure model).
+    """
+
+    rack_a: int
+    rack_b: int
+    start: float
+    end: float
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    def severs(self, rack_x: int, rack_y: int) -> bool:
+        """Whether this window cuts the ``rack_x`` <-> ``rack_y`` link."""
+        lo, hi = (rack_x, rack_y) if rack_x <= rack_y else (rack_y, rack_x)
+        return (lo, hi) == (self.rack_a, self.rack_b)
+
+
+@dataclass(frozen=True)
+class SlowNodeWindow:
+    """One brownout window multiplying a data node's service time."""
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+class ClusterFaultPlan:
+    """The materialized, replayable fleet-level fault schedule for one run.
+
+    Built once from seeded ``default_rng((seed, salt))`` streams (one salt
+    per fault class), so two plans from the same config are bit-identical
+    and a cluster run — including its failover timeline — replays exactly.
+    """
+
+    def __init__(
+        self,
+        config: ClusterFaultConfig,
+        crashes: List[NodeCrashWindow],
+        partitions: List[PartitionWindow],
+        slow_windows: List[SlowNodeWindow],
+    ) -> None:
+        self.config = config
+        self.crashes = sorted(crashes, key=lambda w: (w.start, w.node))
+        self.partitions = sorted(
+            partitions, key=lambda w: (w.start, w.rack_a, w.rack_b)
+        )
+        self.slow_windows = sorted(slow_windows, key=lambda w: (w.start, w.node))
+
+    @classmethod
+    def build(
+        cls, config: ClusterFaultConfig, nodes: int, racks: int
+    ) -> "ClusterFaultPlan":
+        """Materialize the fleet fault schedule from the seeded RNG streams."""
+        if nodes <= 0 or racks <= 0:
+            raise ConfigurationError("nodes and racks must be positive")
+        if not config.enabled:
+            return cls(config, [], [], [])
+        crashes: List[NodeCrashWindow] = []
+        if config.node_crashes > 0:
+            rng = np.random.default_rng((config.seed, _SALT_NODE_CRASH))
+            victims = rng.integers(0, nodes, size=config.node_crashes)
+            starts = rng.uniform(0.0, config.horizon, size=config.node_crashes)
+            for node, start in zip(victims.tolist(), starts.tolist()):
+                crashes.append(
+                    NodeCrashWindow(
+                        node=int(node),
+                        start=float(start),
+                        end=float(start) + config.crash_duration,
+                    )
+                )
+        partitions: List[PartitionWindow] = []
+        if config.partitions > 0:
+            if racks < 2:
+                raise ConfigurationError(
+                    "interconnect partitions need at least 2 racks"
+                )
+            rng = np.random.default_rng((config.seed, _SALT_PARTITION))
+            first = rng.integers(0, racks, size=config.partitions)
+            second = rng.integers(0, racks - 1, size=config.partitions)
+            starts = rng.uniform(0.0, config.horizon, size=config.partitions)
+            for a, b, start in zip(
+                first.tolist(), second.tolist(), starts.tolist()
+            ):
+                other = int(b) + (1 if int(b) >= int(a) else 0)
+                lo, hi = sorted((int(a), other))
+                partitions.append(
+                    PartitionWindow(
+                        rack_a=lo,
+                        rack_b=hi,
+                        start=float(start),
+                        end=float(start) + config.partition_duration,
+                    )
+                )
+        slow_windows: List[SlowNodeWindow] = []
+        if config.slow_nodes > 0:
+            rng = np.random.default_rng((config.seed, _SALT_SLOW_NODE))
+            victims = rng.integers(0, nodes, size=config.slow_nodes)
+            starts = rng.uniform(0.0, config.horizon, size=config.slow_nodes)
+            for node, start in zip(victims.tolist(), starts.tolist()):
+                slow_windows.append(
+                    SlowNodeWindow(
+                        node=int(node),
+                        start=float(start),
+                        end=float(start) + config.slow_duration,
+                        factor=config.slow_factor,
+                    )
+                )
+        return cls(config, crashes, partitions, slow_windows)
+
+    # --- point-in-time queries ---------------------------------------------
+    def node_alive(self, node: int, time: float) -> bool:
+        """Whether data node ``node`` is up at ``time``."""
+        return not any(w.node == node and w.covers(time) for w in self.crashes)
+
+    def slowdown(self, node: int, time: float) -> float:
+        """Brownout multiplier (>= 1) on ``node``'s service time at ``time``."""
+        factor = 1.0
+        for window in self.slow_windows:
+            if window.node == node and window.covers(time):
+                factor = max(factor, window.factor)
+        return factor
+
+    def reachable(self, rack_x: int, rack_y: int, time: float) -> bool:
+        """Whether racks ``rack_x`` and ``rack_y`` can talk at ``time``."""
+        if rack_x == rack_y:
+            return True
+        return not any(
+            w.severs(rack_x, rack_y) and w.covers(time) for w in self.partitions
+        )
+
+    # --- event-loop integration --------------------------------------------
+    def edges(self) -> List[tuple]:
+        """All state-change edges as sorted ``(time, kind, payload)`` tuples.
+
+        Kinds are the ``EDGE_*`` constants; ties at one timestamp resolve
+        recovery-before-failure (up < down, heal < start) so a same-instant
+        crash never observes a stale down state.  Payloads are ints (node)
+        or ``(rack_a, rack_b)`` / ``(node, factor)`` tuples.
+        """
+        edges: List[tuple] = []
+        for crash in self.crashes:
+            edges.append((crash.start, EDGE_NODE_DOWN, crash.node))
+            edges.append((crash.end, EDGE_NODE_UP, crash.node))
+        for part in self.partitions:
+            edges.append((part.start, EDGE_PARTITION_START, (part.rack_a, part.rack_b)))
+            edges.append((part.end, EDGE_PARTITION_HEAL, (part.rack_a, part.rack_b)))
+        for slow in self.slow_windows:
+            edges.append((slow.start, EDGE_SLOW_START, (slow.node, slow.factor)))
+            edges.append((slow.end, EDGE_SLOW_END, (slow.node, slow.factor)))
+        return sorted(edges, key=lambda e: (e[0], e[1], repr(e[2])))
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (sorted, no wall-clock content)."""
+        return {
+            "node_crashes": [
+                {"node": w.node, "start": w.start, "end": w.end}
+                for w in self.crashes
+            ],
+            "partitions": [
+                {
+                    "rack_a": w.rack_a,
+                    "rack_b": w.rack_b,
+                    "start": w.start,
+                    "end": w.end,
+                }
+                for w in self.partitions
+            ],
+            "slow_nodes": [
+                {
+                    "node": w.node,
+                    "start": w.start,
+                    "end": w.end,
+                    "factor": w.factor,
+                }
+                for w in self.slow_windows
+            ],
             "seed": self.config.seed,
         }

@@ -53,11 +53,16 @@ ALLOWED_IMPORTS: Dict[str, Tuple[str, ...]] = {
     "repro.cli": (
         "repro",
         "repro.analysis",
+        "repro.cluster",
         "repro.core",
         "repro.faults",
         "repro.serve",
         "repro.ssd",
         "repro.workloads",
+    ),
+    "repro.cluster": (
+        "repro.faults",
+        "repro.serve",
     ),
     "repro.config": (),
     "repro.core": (

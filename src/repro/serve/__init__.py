@@ -39,6 +39,7 @@ from .driver import (
     build_serving_stack,
     saturating_rate,
 )
+from .node import ServiceNodeCore
 from .queues import RequestQueue
 from .request import (
     SHED_QUEUE_DEPTH,
@@ -70,6 +71,7 @@ __all__ = [
     "build_serving_stack",
     "saturating_rate",
     "SERVE_TRACK",
+    "ServiceNodeCore",
     "RequestQueue",
     "Request",
     "ShedRequest",

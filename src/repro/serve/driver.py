@@ -38,7 +38,7 @@ from ..obs import SERVE_TRACK, get_registry, get_tracer
 from ..obs.digest import DigestRecorder
 from .admission import AdmissionConfig, AdmissionController
 from .degrade import DegradationLadder
-from .queues import RequestQueue
+from .node import ServiceNodeCore
 from .request import (
     BatchRecord,
     CompletedRequest,
@@ -101,14 +101,12 @@ class ServingSimulator:
         self.digest_recorder = digest_recorder
 
     # -- helpers -------------------------------------------------------------
-    def _pending(self, queue: RequestQueue) -> int:
-        return queue.depth + self.router.inflight_requests
+    def _pending(self, core: ServiceNodeCore) -> int:
+        return core.pending(self.router.inflight_requests)
 
-    def _pressure(self, queue: RequestQueue) -> float:
-        limit = self.admission.config.max_pending
-        if limit is None:
-            limit = self.batcher.knee * len(self.router.replicas) * 4
-        return self._pending(queue) / limit
+    def _pressure(self, core: ServiceNodeCore) -> float:
+        fallback = self.batcher.knee * len(self.router.replicas) * 4
+        return core.pressure(self.router.inflight_requests, fallback)
 
     def _has_idle_replica(self) -> bool:
         return any(r.outstanding_batches == 0 for r in self.router.replicas)
@@ -137,8 +135,7 @@ class ServingSimulator:
         if priorities is not None and len(priorities) != times.size:
             raise WorkloadError("priorities must align with arrivals")
 
-        queue = RequestQueue()
-        waiting: Dict[int, Request] = {}
+        core = ServiceNodeCore(self.admission, self.batcher, self.ladder)
         inflight: Dict[int, _InflightBatch] = {}
         completed: List[CompletedRequest] = []
         shed: List[ShedRequest] = []
@@ -160,12 +157,10 @@ class ServingSimulator:
             fault_pressure = (
                 self.fault_signal(now) if self.fault_signal is not None else 0.0
             )
-            level = self.ladder.update(self._pressure(queue), fault_pressure)
-            batch = self.batcher.form_batch(queue)
+            level = core.dispatch_level(self._pressure(core), fault_pressure)
+            batch = core.form_batch()
             if not batch:
                 raise SimulationError("dispatch from an empty queue")
-            for request in batch:
-                del waiting[request.request_id]
             duration = self.router.batch_time_on(
                 replica,
                 len(batch),
@@ -219,8 +214,8 @@ class ServingSimulator:
             )
 
         def drain(now: float) -> None:
-            while queue.depth > 0 and self.router.has_capacity():
-                must = self.batcher.should_close(queue, now)
+            while core.depth > 0 and self.router.has_capacity():
+                must = core.should_close(now)
                 eager = self.eager_when_idle and self._has_idle_replica()
                 if not (must or eager):
                     break
@@ -239,8 +234,8 @@ class ServingSimulator:
                 recorder.tick(
                     now,
                     kind=kind,
-                    queue_depth=queue.depth,
-                    waiting=len(waiting),
+                    queue_depth=core.depth,
+                    waiting=len(core.waiting),
                     inflight=len(inflight),
                     completed=len(completed),
                     shed=len(shed),
@@ -269,7 +264,7 @@ class ServingSimulator:
                         ).observe(record.latency, level=record.degrade_level)
                 drain(now)
             elif kind == _KIND_DEADLINE:
-                if payload in waiting:
+                if core.is_waiting(payload):
                     drain(now)
             else:  # arrival
                 arrival_time = float(times[payload])
@@ -282,8 +277,8 @@ class ServingSimulator:
                     tenant=tenant,
                     priority=priority,
                 )
-                reason = self.admission.decide(
-                    request, self._pending(queue), now
+                reason = core.offer(
+                    request, self.router.inflight_requests, now
                 )
                 if registry.enabled:
                     registry.counter(
@@ -298,12 +293,10 @@ class ServingSimulator:
                             f"shed/{reason}", sim_time=now, track=SERVE_TRACK
                         )
                     continue
-                queue.push(request)
-                waiting[request.request_id] = request
                 heapq.heappush(
                     heap,
                     (
-                        self.batcher.close_time(request),
+                        core.close_time(request),
                         _KIND_DEADLINE,
                         seq,
                         request.request_id,
@@ -312,10 +305,10 @@ class ServingSimulator:
                 seq += 1
                 drain(now)
 
-        if queue.depth != 0 or waiting or inflight:
+        if core.depth != 0 or core.waiting or inflight:
             raise SimulationError(
                 f"serving run ended with work left behind: "
-                f"{queue.depth} queued, {len(inflight)} batches in flight"
+                f"{core.depth} queued, {len(inflight)} batches in flight"
             )
         self.admission.verify_conservation()
         if len(completed) + len(shed) != int(times.size):

@@ -1,0 +1,481 @@
+"""Tests for the fleet-scale cluster simulator (repro.cluster)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Autoscaler,
+    ClusterConfig,
+    ClusterSimulator,
+    CrawlerSchedule,
+    HotLabelCache,
+    Interconnect,
+    Placement,
+    build_cluster,
+    build_latency_array,
+    cluster_saturating_rate,
+    place_replicas,
+    rack_of,
+    shard_outage_seconds,
+    zipf_keys,
+)
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.faults import ClusterFaultConfig, ClusterFaultPlan
+from repro.lint.simsan import SimSanitizer, installed
+from repro.obs.runs import derive_run_id
+from repro.serve import AffineServiceModel
+from repro.workloads.streams import poisson_arrivals
+
+#: Fast pure-Python service model: 0.5 ms base, 20 us/query, knee at 16.
+SERVICE = AffineServiceModel(base=5e-4, per_query=2e-5, knee=16)
+CONFIG = ClusterConfig(
+    data_nodes=8,
+    service_nodes=2,
+    shards=4,
+    replicas=12,
+    racks=2,
+    slots_per_node=2,
+    slo=0.05,
+)
+
+
+def run_fleet(
+    multiplier=0.8,
+    seed=7,
+    num_requests=4000,
+    config=CONFIG,
+    fault_config=None,
+    hot_degrees=None,
+):
+    """Fresh fleet replaying a Poisson stream at ``multiplier`` x saturation."""
+    rate = multiplier * cluster_saturating_rate(SERVICE, config)
+    arrivals = poisson_arrivals(rate, num_requests, seed=seed)
+    if fault_config is None:
+        fault_config = ClusterFaultConfig.disabled()
+    simulator = build_cluster(
+        SERVICE,
+        config,
+        seed=seed,
+        fault_config=fault_config,
+        hot_degrees=hot_degrees,
+    )
+    return simulator.run(arrivals)
+
+
+class TestTopology:
+    def test_rack_striping(self):
+        assert [rack_of(n, 3) for n in range(6)] == [0, 1, 2, 0, 1, 2]
+        with pytest.raises(ConfigurationError):
+            rack_of(0, 0)
+        with pytest.raises(ConfigurationError):
+            rack_of(-1, 2)
+
+    def test_cross_rack_costs_more(self):
+        link = Interconnect()
+        local = link.transfer_time(4096, cross_rack=False)
+        remote = link.transfer_time(4096, cross_rack=True)
+        assert remote > local
+        # The bandwidth term is identical; only fixed latency scales.
+        assert remote - local == pytest.approx(
+            link.latency * (link.cross_rack_factor - 1.0)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(data_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(data_nodes=4, shards=4, replicas=3)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(data_nodes=4, service_nodes=2, autoscale_min=3)
+        config = ClusterConfig(data_nodes=4, slots_per_node=3)
+        assert config.total_slots == 12
+        with pytest.raises(ConfigurationError):
+            config.node_rack(4)
+
+
+class TestPlacement:
+    def test_every_shard_covered_on_distinct_nodes(self):
+        placement = place_replicas(CONFIG, [1.0] * CONFIG.shards)
+        assert placement.total_replicas == CONFIG.replicas
+        for shard in range(CONFIG.shards):
+            nodes = placement.nodes_for(shard)
+            assert len(nodes) >= 1
+            assert len(set(nodes)) == len(nodes)
+
+    def test_replicas_spread_across_racks(self):
+        placement = place_replicas(CONFIG, [1.0] * CONFIG.shards)
+        for shard in range(CONFIG.shards):
+            nodes = placement.nodes_for(shard)
+            if len(nodes) >= 2:
+                racks = {CONFIG.node_rack(n) for n in nodes}
+                assert len(racks) >= 2
+
+    def test_extra_replicas_go_to_hottest_shards(self):
+        degrees = [0.5, 0.5, 0.5, 2.5]
+        placement = place_replicas(CONFIG, degrees)
+        counts = [len(placement.nodes_for(s)) for s in range(CONFIG.shards)]
+        assert counts[3] == max(counts)
+
+    def test_more_replicas_than_nodes_rejected(self):
+        config = ClusterConfig(
+            data_nodes=2, shards=1, replicas=3, racks=2, service_nodes=1,
+            autoscale_min=1,
+        )
+        with pytest.raises(ConfigurationError):
+            place_replicas(config, [1.0])
+
+    def test_deterministic(self):
+        degrees = [1.3, 0.7, 1.1, 0.9]
+        first = place_replicas(CONFIG, degrees)
+        second = place_replicas(CONFIG, degrees)
+        assert first == second
+
+    def test_views_are_consistent(self):
+        placement = place_replicas(CONFIG, [1.0] * CONFIG.shards)
+        for node in range(CONFIG.data_nodes):
+            for shard in placement.shards_on(node):
+                assert node in placement.nodes_for(shard)
+
+
+class TestHotLabelCache:
+    def test_lru_eviction(self):
+        cache = HotLabelCache(capacity=2, ttl=10.0)
+        cache.insert(1, 0.0)
+        cache.insert(2, 0.0)
+        assert cache.lookup(1, 0.1)  # 1 is now most recent
+        cache.insert(3, 0.2)  # evicts 2
+        assert not cache.lookup(2, 0.3)
+        assert cache.lookup(1, 0.3)
+        assert cache.lookup(3, 0.3)
+
+    def test_ttl_expiry_on_sim_clock(self):
+        cache = HotLabelCache(capacity=4, ttl=1.0)
+        cache.insert(1, 0.0)
+        assert cache.lookup(1, 0.5)
+        assert not cache.lookup(1, 1.5)
+
+    def test_zero_capacity_disables(self):
+        cache = HotLabelCache(capacity=0, ttl=1.0)
+        cache.insert(1, 0.0)
+        assert not cache.lookup(1, 0.1)
+
+    def test_zipf_keys_deterministic_and_skewed(self):
+        first = zipf_keys(5000, groups=64, skew=1.1, seed=3)
+        second = zipf_keys(5000, groups=64, skew=1.1, seed=3)
+        np.testing.assert_array_equal(first, second)
+        counts = np.bincount(first, minlength=64)
+        assert counts[0] > counts[32]
+        assert first.min() >= 0 and first.max() < 64
+
+
+class TestCrawlers:
+    def test_slowdown_at_least_one_and_deterministic(self):
+        schedule = CrawlerSchedule(seed=5)
+        samples = [schedule.slowdown(n, t) for n in range(4)
+                   for t in (0.0, 0.3, 1.7, 4.9)]
+        assert all(s >= 1.0 for s in samples)
+        again = [CrawlerSchedule(seed=5).slowdown(n, t) for n in range(4)
+                 for t in (0.0, 0.3, 1.7, 4.9)]
+        assert samples == again
+        # Some window somewhere must actually be active.
+        assert any(s > 1.0 for s in samples)
+
+    def test_disabled_is_free(self):
+        schedule = CrawlerSchedule(seed=5, enabled=False)
+        assert schedule.slowdown(0, 0.25) == 1.0
+        assert schedule.mean_overhead() == 1.0
+
+    def test_mean_overhead_bounds(self):
+        overhead = CrawlerSchedule(seed=0).mean_overhead()
+        assert 1.0 < overhead < 1.2
+
+
+class TestAutoscaler:
+    def test_scales_up_under_sustained_burn(self):
+        scaler = Autoscaler(slo=0.02, min_nodes=1, max_nodes=4)
+        for step in range(200):
+            scaler.observe(step * 0.01, bad=True)
+        assert scaler.decide(2.0, active=2) == 3
+        assert scaler.decide(2.0, active=4) == 4  # capped
+
+    def test_scales_down_when_quiet(self):
+        scaler = Autoscaler(slo=0.02, min_nodes=1, max_nodes=4)
+        for step in range(200):
+            scaler.observe(step * 0.01, bad=False)
+        assert scaler.decide(2.0, active=3) == 2
+        assert scaler.decide(2.0, active=1) == 1  # floored
+
+    def test_window_expiry_forgets_old_burn(self):
+        scaler = Autoscaler(slo=0.02, min_nodes=1, max_nodes=4)
+        for step in range(50):
+            scaler.observe(step * 0.001, bad=True)
+        for step in range(400):
+            scaler.observe(0.1 + step * 0.01, bad=False)
+        # The bad burst has rolled out of both windows.
+        assert scaler.decide(5.0, active=2) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Autoscaler(slo=0.0, min_nodes=1, max_nodes=2)
+        with pytest.raises(ConfigurationError):
+            Autoscaler(slo=0.02, min_nodes=3, max_nodes=2)
+
+
+class TestClusterFaultPlan:
+    def test_seeded_replay_is_bit_identical(self):
+        config = ClusterFaultConfig(
+            seed=11, node_crashes=3, partitions=2, slow_nodes=2, horizon=5.0
+        )
+        first = ClusterFaultPlan.build(config, nodes=8, racks=2)
+        second = ClusterFaultPlan.build(config, nodes=8, racks=2)
+        assert first.to_dict() == second.to_dict()
+        assert first.edges() == second.edges()
+
+    def test_different_seeds_differ(self):
+        base = ClusterFaultConfig(seed=1, node_crashes=4, horizon=5.0)
+        other = ClusterFaultConfig(seed=2, node_crashes=4, horizon=5.0)
+        plan_a = ClusterFaultPlan.build(base, nodes=8, racks=2)
+        plan_b = ClusterFaultPlan.build(other, nodes=8, racks=2)
+        assert plan_a.to_dict() != plan_b.to_dict()
+
+    def test_point_queries_match_windows(self):
+        config = ClusterFaultConfig(
+            seed=3, node_crashes=2, partitions=1, slow_nodes=1,
+            crash_duration=0.5, partition_duration=0.25, slow_duration=1.0,
+            slow_factor=3.0, horizon=4.0,
+        )
+        plan = ClusterFaultPlan.build(config, nodes=8, racks=2)
+        crash = plan.crashes[0]
+        mid = (crash.start + crash.end) / 2.0
+        assert not plan.node_alive(crash.node, mid)
+        assert plan.node_alive(crash.node, crash.end)
+        part = plan.partitions[0]
+        pmid = (part.start + part.end) / 2.0
+        assert not plan.reachable(part.rack_a, part.rack_b, pmid)
+        assert plan.reachable(part.rack_a, part.rack_a, pmid)
+        slow = plan.slow_windows[0]
+        smid = (slow.start + slow.end) / 2.0
+        assert plan.slowdown(slow.node, smid) == pytest.approx(3.0)
+        assert plan.slowdown(slow.node, slow.end) == 1.0
+
+    def test_partition_racks_are_distinct_and_ordered(self):
+        config = ClusterFaultConfig(seed=9, partitions=8, horizon=2.0)
+        plan = ClusterFaultPlan.build(config, nodes=8, racks=4)
+        for window in plan.partitions:
+            assert window.rack_a < window.rack_b
+
+    def test_from_spec_parses_and_rejects(self):
+        config = ClusterFaultConfig.from_spec(
+            "node-crash=2, partition=1,slow-node=3", seed=4, horizon=6.0
+        )
+        assert config.node_crashes == 2
+        assert config.partitions == 1
+        assert config.slow_nodes == 3
+        assert config.seed == 4
+        with pytest.raises(ConfigurationError):
+            ClusterFaultConfig.from_spec("meteor=1", seed=0, horizon=1.0)
+        with pytest.raises(ConfigurationError):
+            ClusterFaultConfig.from_spec("node-crash=two", seed=0, horizon=1.0)
+
+    def test_disabled_plan_is_empty(self):
+        plan = ClusterFaultPlan.build(
+            ClusterFaultConfig.disabled(), nodes=4, racks=2
+        )
+        assert plan.edges() == []
+        assert plan.node_alive(0, 1.0)
+        assert plan.slowdown(0, 1.0) == 1.0
+
+    def test_edges_sorted_recovery_before_failure(self):
+        config = ClusterFaultConfig(
+            seed=2, node_crashes=4, partitions=2, horizon=3.0
+        )
+        edges = ClusterFaultPlan.build(config, nodes=8, racks=2).edges()
+        times = [e[0] for e in edges]
+        assert times == sorted(times)
+
+
+class TestFleetRuns:
+    def test_conservation_across_rates(self):
+        for multiplier in (0.5, 1.0, 2.0):
+            report = run_fleet(multiplier, num_requests=2500)
+            assert report.completed + report.shed == report.arrived
+
+    def test_determinism_bit_identical(self):
+        first = run_fleet(1.0, seed=13)
+        second = run_fleet(1.0, seed=13)
+        np.testing.assert_array_equal(first.latencies, second.latencies)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_cache_serves_hot_keys(self):
+        report = run_fleet(0.8)
+        assert report.cache_hits > 0
+        assert report.cache_hit_rate > 0.1
+
+    def test_work_stealing_engages(self):
+        # A hot shard concentrates load; idle replicas steal the backlog.
+        report = run_fleet(1.5, hot_degrees=[3.0, 0.4, 0.3, 0.3])
+        assert report.steals > 0
+
+    def test_light_load_is_fast_and_lossless(self):
+        report = run_fleet(0.2, num_requests=1500)
+        assert report.shed == 0
+        assert report.p50 < CONFIG.slo
+
+    def test_overload_sheds_explicitly(self):
+        # Cache off so the full offered load reaches admission control.
+        config = ClusterConfig(
+            data_nodes=8, service_nodes=2, shards=4, replicas=12,
+            racks=2, slots_per_node=2, slo=0.05, cache_capacity=0,
+        )
+        report = run_fleet(6.0, num_requests=9000, config=config)
+        assert report.shed > 0
+        assert report.shed_by_reason
+        assert sum(report.shed_by_reason.values()) == report.shed
+
+    def test_autoscaler_releases_idle_nodes(self):
+        config = ClusterConfig(
+            data_nodes=8, service_nodes=4, shards=4, replicas=12,
+            racks=2, slots_per_node=2, slo=0.05,
+        )
+        report = run_fleet(0.2, num_requests=2500, config=config)
+        assert report.scale_downs > 0
+
+    def test_slo_too_tight_raises(self):
+        config = ClusterConfig(
+            data_nodes=8, service_nodes=2, shards=4, replicas=12,
+            racks=2, slots_per_node=2, slo=1e-5,
+        )
+        with pytest.raises(ConfigurationError):
+            build_cluster(SERVICE, config)
+
+    def test_run_input_validation(self):
+        simulator = build_cluster(SERVICE, CONFIG)
+        with pytest.raises(WorkloadError):
+            simulator.run(np.empty(0))
+        with pytest.raises(WorkloadError):
+            simulator.run(np.array([2.0, 1.0]))
+        with pytest.raises(WorkloadError):
+            simulator.run(np.array([0.0, 1.0]), keys=np.zeros(1, dtype=np.int64))
+
+    def test_hot_degrees_must_match_shards(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster(SERVICE, CONFIG, hot_degrees=[1.0, 1.0])
+
+    def test_saturating_rate_scales_with_slots(self):
+        small = cluster_saturating_rate(SERVICE, CONFIG)
+        bigger = cluster_saturating_rate(
+            SERVICE,
+            ClusterConfig(
+                data_nodes=8, service_nodes=2, shards=4, replicas=12,
+                racks=2, slots_per_node=4, slo=0.05,
+            ),
+        )
+        assert bigger > small
+
+
+# Horizon sized to the ~0.08 s span of a 6000-request run at 0.8x
+# saturation, so the windows actually land inside the replay.
+FAULTED = ClusterFaultConfig(
+    seed=7, node_crashes=2, partitions=1, slow_nodes=2,
+    crash_duration=0.02, partition_duration=0.01, slow_duration=0.03,
+    horizon=0.06,
+)
+
+
+class TestFailover:
+    def test_crash_plan_survives_with_failover(self):
+        report = run_fleet(0.8, fault_config=FAULTED, num_requests=6000)
+        assert report.completed + report.shed == report.arrived
+        assert report.redispatches > 0 or report.parked_events > 0
+        # Rack-spread placement kept at least one replica per shard alive.
+        assert report.failover_downtime == 0.0
+
+    def test_failover_timeline_replays_bit_identically(self):
+        first = run_fleet(0.8, fault_config=FAULTED, num_requests=6000)
+        second = run_fleet(0.8, fault_config=FAULTED, num_requests=6000)
+        assert first.failover_timeline == second.failover_timeline
+        assert len(first.failover_timeline) > 0
+        np.testing.assert_array_equal(first.latencies, second.latencies)
+
+    def test_run_id_identical_across_replays(self):
+        config = {"fleet": CONFIG.data_nodes, "fault_plan": "node-crash=2"}
+        workload = {"kind": "poisson", "num_queries": 6000}
+        first = derive_run_id(config, seed=7, workload=workload)
+        second = derive_run_id(config, seed=7, workload=workload)
+        assert first == second
+        assert derive_run_id(config, seed=8, workload=workload) != first
+
+    def test_simsan_run_is_clean_and_identical(self):
+        baseline = run_fleet(0.8, fault_config=FAULTED, num_requests=4000)
+        with installed(SimSanitizer()) as sanitizer:
+            sanitized = run_fleet(0.8, fault_config=FAULTED, num_requests=4000)
+        assert sanitizer.violations == []
+        assert sanitizer.pops_observed > 0
+        assert baseline.failover_timeline == sanitized.failover_timeline
+        np.testing.assert_array_equal(
+            baseline.latencies, sanitized.latencies
+        )
+
+    def test_unreachable_everything_parks_then_recovers(self):
+        # One shard, all replicas on one node: crashing it must park work,
+        # and recovery must drain the park list (the run finishes clean).
+        config = ClusterConfig(
+            data_nodes=1, service_nodes=1, shards=1, replicas=1, racks=1,
+            slots_per_node=2, slo=0.05, autoscale=False, cache_capacity=0,
+        )
+        fault = ClusterFaultConfig(
+            seed=1, node_crashes=1, crash_duration=0.02, horizon=0.03
+        )
+        rate = 0.5 * cluster_saturating_rate(SERVICE, config)
+        arrivals = poisson_arrivals(rate, 800, seed=1)
+        simulator = build_cluster(SERVICE, config, seed=1, fault_config=fault)
+        report = simulator.run(arrivals)
+        assert report.completed + report.shed == report.arrived
+        assert report.parked_events > 0
+        actions = [event.action for event in report.failover_timeline]
+        assert "park" in actions and "unpark" in actions
+        assert report.parked_time > 0.0
+        # With a single replica, the crash window is an analytic outage.
+        assert report.failover_downtime > 0.0
+
+    def test_shard_outage_analytic_matches_plan(self):
+        config = ClusterFaultConfig(
+            seed=1, node_crashes=1, crash_duration=0.02, horizon=0.03
+        )
+        plan = ClusterFaultPlan.build(config, nodes=1, racks=1)
+        placement = Placement(
+            assignments=((0,),), hosted=((0,),), hot_degrees=(1.0,)
+        )
+        outages = shard_outage_seconds(plan, placement)
+        assert outages[0] == pytest.approx(0.02)
+
+
+class TestReport:
+    def test_conservation_enforced_in_report(self):
+        with pytest.raises(SimulationError):
+            run_report = run_fleet(0.5, num_requests=1000)
+            run_report.completed += 1
+            run_report.__post_init__()
+
+    def test_latency_array_masks_shed(self):
+        array = build_latency_array(4)
+        array[0] = 0.01
+        array[2] = 0.03
+        report = run_fleet(0.5, num_requests=1000)
+        assert report.p50 >= 0.0
+        with pytest.raises(WorkloadError):
+            report.percentile(123.0)
+
+    def test_to_dict_round_trips_json(self):
+        report = run_fleet(0.8, fault_config=FAULTED, num_requests=2000)
+        payload = json.loads(json.dumps(report.to_dict(), sort_keys=True))
+        assert payload["arrived"] == 2000
+        assert payload["completed"] + payload["shed"] == 2000
+        assert isinstance(payload["failover_events"], list)
+        assert payload["utilization_skew"] >= 1.0 or (
+            payload["utilization_skew"] == 0.0
+        )

@@ -117,3 +117,24 @@ class TestMergeTopk:
             merge_topk([], [], [], top_k=1)
         with pytest.raises(ConfigurationError):
             merge_topk([np.zeros((1, 1))], [], [0], top_k=1)
+
+    def test_ties_break_on_label_id(self):
+        # Equal scores across shards: the lower *global* label id must win,
+        # regardless of which shard contributed it.
+        labels = [np.array([[4, 2]]), np.array([[1, 3]])]
+        scores = [np.array([[7.0, 7.0]]), np.array([[7.0, 7.0]])]
+        merged_labels, merged_scores = merge_topk(labels, scores, [0, 10], top_k=3)
+        np.testing.assert_array_equal(merged_labels[0], [2, 4, 11])
+        np.testing.assert_array_equal(merged_scores[0], [7.0, 7.0, 7.0])
+
+    def test_merge_is_shard_order_independent(self):
+        rng = np.random.default_rng(1)
+        # Quantized scores force plenty of exact ties across shards.
+        a_scores = np.round(rng.normal(size=(3, 5)) * 2) / 2
+        b_scores = np.round(rng.normal(size=(3, 5)) * 2) / 2
+        a_labels = np.tile(np.arange(5), (3, 1))
+        b_labels = np.tile(np.arange(5), (3, 1))
+        fwd = merge_topk([a_labels, b_labels], [a_scores, b_scores], [0, 5], top_k=4)
+        rev = merge_topk([b_labels, a_labels], [b_scores, a_scores], [5, 0], top_k=4)
+        np.testing.assert_array_equal(fwd[0], rev[0])
+        np.testing.assert_array_equal(fwd[1], rev[1])
