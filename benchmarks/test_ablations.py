@@ -1,35 +1,62 @@
 """Ablation benches: design-choice studies beyond the paper's figures.
 
-DESIGN.md calls out the design choices these quantify: the interleaving
-balancer (grades vs LPT), the hot-degree predictor quality and fine-tuning
-budget, channel scaling, query-distribution drift, channel scheduling
-policy, and per-query energy.
+DESIGN.md calls out the design choices these quantify: the component
+campaign run through ``repro.ablate`` (the Fig. 8 axes, importance-ranked
+and perf-diff gated as ``BENCH_ablation.json``), the hot-degree predictor
+quality and fine-tuning budget, channel scaling, query-distribution drift,
+channel scheduling policy, and per-query energy.
 """
 
-import numpy as np
-from conftest import run_once
+from conftest import RESULTS_DIR, run_once
 
+from repro.ablate import components_campaign, run_campaign
 from repro.analysis import ablations as A
 from repro.analysis.energy import efficiency_table
 from repro.analysis.reporting import format_seconds, render_table
 
 
-def test_ablation_interleaving_variants(benchmark, record_table):
-    variants = run_once(benchmark, lambda: A.interleaving_variants(tiles=8))
+def test_ablation_component_campaign(benchmark, record_table):
+    """The paper's component set, one-factor-ablated by the campaign engine.
 
-    rows = [[r.strategy, f"{r.balance:.3f}"] for r in variants]
-    table = render_table(
-        ["strategy", "channel balance (1.0 = perfect)"],
-        rows,
-        title="Ablation: interleaving variants incl. the literal 3-grade scheme",
+    Replaces the old hand-rolled interleaving sweep: the campaign runs the
+    champion plus every single-component ablation, scores each component's
+    importance against the champion, and emits the ranked report both as
+    ``BENCH_ablation.json`` (perf-diff gated in CI) and as markdown.
+    """
+    spec = components_campaign()
+    result = run_once(benchmark, lambda: run_campaign(spec, workers=1))
+    report = result.report
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_ablation.json"
+    out.write_text(report.to_json(), encoding="utf-8")
+    record_table("ablation_importance", report.render_markdown().rstrip("\n"))
+
+    # Every ablated component hurts: the co-design earns its keep.
+    for entry in report.ranking:
+        assert entry.sign == +1, (entry.axis, entry.level)
+    # The naive MAC pays Fig. 9's iso-area throughput gap.
+    assert report.entry("mac", "naive").harm_score > 0
+    # Losing the learned interleaving is the costliest single ablation,
+    # and falling all the way to sequential hurts more than to uniform.
+    assert report.ranking[0].axis == "interleaving"
+    assert (
+        report.entry("interleaving", "sequential").harm_score
+        > report.entry("interleaving", "uniform").harm_score
     )
-    record_table("ablation_interleaving_variants", table)
-
-    by_name = {r.strategy: r.balance for r in variants}
-    assert by_name["sequential"] < by_name["uniform"] < by_name["graded"]
-    # LPT and the coarse 3-grade scheme end up close: most of the learned
-    # win comes from *any* hotness-aware spreading, not the exact balancing.
-    assert abs(by_name["learned"] - by_name["graded"]) < 0.05
+    # Raw throughput ordering across the interleaving cells matches.
+    by_axis = {
+        (cell.ablated_axis, cell.ablated_level): result.results[cell.cell_id]
+        for cell in result.matrix.cells
+    }
+    champion_tp = result.results[result.matrix.champion.cell_id][
+        "throughput_qps"
+    ]
+    assert (
+        champion_tp
+        > by_axis[("interleaving", "uniform")]["throughput_qps"]
+        > by_axis[("interleaving", "sequential")]["throughput_qps"]
+    )
 
 
 def test_ablation_predictor_fidelity(benchmark, record_table):

@@ -1,0 +1,217 @@
+"""Built-in campaign builders: the studies this repo actually ships.
+
+Each builder returns a plain :class:`~repro.ablate.spec.CampaignSpec`; the
+CLI resolves them by name (``repro ablate run --campaign fleet-policy``)
+and tests/benchmarks call them with smaller params.  Because the spec is
+the identity, shrinking a param produces a *different* campaign with
+different cell IDs — a tiny test campaign never collides with the shipped
+one in a shared registry.
+
+* ``components`` — the paper's component set (CFP32 MAC, heterogeneous
+  layout, learned interleaving, overlap) one-factor-ablated from the full
+  ECSSD champion; its report is ``BENCH_ablation.json``.
+* ``fleet-policy`` — the ROADMAP fleet study: placement x steal x
+  autoscale, full factorial, every cell under the same seeded fault
+  campaign (node crashes + a rack partition + slow nodes).
+* ``serving-policy`` — admission policy x degradation ladder on the SLO
+  serving plane at 1.5x saturation.
+* ``reliability`` — ECC ladder tiers x RBER scale through the fault
+  matrix.
+* ``smoke`` — a tiny synthetic matrix with declared effects; CI's
+  determinism job runs it twice (2 workers) and asserts one campaign
+  manifest and zero divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import AblationError
+from .spec import Axis, CampaignSpec
+
+
+def components_campaign(
+    seed: int = 7,
+    queries: int = 16,
+    sample_tiles: int = 6,
+    benchmark: str = "GNMT-E32K",
+) -> CampaignSpec:
+    """The paper's component ablation (Fig. 8 territory), engine-driven."""
+    return CampaignSpec(
+        name="components",
+        runner="pipeline",
+        mode="one-factor",
+        seed=seed,
+        axes=(
+            Axis("mac", ("cfp32", "sk-hynix", "naive"), "cfp32"),
+            Axis("layout", ("heterogeneous", "homogeneous"), "heterogeneous"),
+            Axis(
+                "interleaving",
+                ("learned", "uniform", "sequential"),
+                "learned",
+            ),
+            Axis("overlap", ("on", "off"), "on"),
+        ),
+        params={
+            "benchmark": benchmark,
+            "queries": queries,
+            "sample_tiles": sample_tiles,
+            "train_queries": 200,
+        },
+    )
+
+
+def fleet_policy_campaign(
+    seed: int = 7,
+    num_requests: int = 6000,
+    mode: str = "factorial",
+    fault_plan: str = "node-crash=2,partition=1,slow-node=2",
+    sample_tiles: int = 4,
+) -> CampaignSpec:
+    """Placement x steal x autoscale under a shared seeded fault campaign."""
+    return CampaignSpec(
+        name="fleet-policy",
+        runner="cluster",
+        mode=mode,
+        seed=seed,
+        axes=(
+            Axis(
+                "placement",
+                ("rack-spread", "locality-packed", "hotness-weighted"),
+                "rack-spread",
+            ),
+            Axis("steal", ("newest", "oldest", "none"), "newest"),
+            Axis("autoscale", ("on", "off"), "on"),
+        ),
+        params={
+            "data_nodes": 8,
+            "service_nodes": 4,
+            "shards": 4,
+            "replicas": 24,
+            "racks": 2,
+            "slots_per_node": 2,
+            "slo_s": 0.05,
+            "rate_multiplier": 1.0,
+            "num_requests": num_requests,
+            "fault_plan": fault_plan,
+            "sample_tiles": sample_tiles,
+        },
+    )
+
+
+def serving_policy_campaign(
+    seed: int = 7, num_queries: int = 2000, sample_tiles: int = 4
+) -> CampaignSpec:
+    """Admission x degradation on the serving plane at 1.5x saturation."""
+    return CampaignSpec(
+        name="serving-policy",
+        runner="serve",
+        mode="factorial",
+        seed=seed,
+        axes=(
+            Axis("admission", ("token-bucket", "depth"), "token-bucket"),
+            Axis("degrade", ("on", "off"), "on"),
+        ),
+        params={
+            "slo_s": 0.020,
+            "shards": 2,
+            "replicas": 1,
+            "rate_multiplier": 1.5,
+            "num_queries": num_queries,
+            "sample_tiles": sample_tiles,
+        },
+    )
+
+
+def reliability_campaign(
+    seed: int = 0, num_labels: int = 2048, num_queries: int = 8
+) -> CampaignSpec:
+    """ECC ladder tiers x RBER scale through the fault matrix."""
+    return CampaignSpec(
+        name="reliability",
+        runner="faults",
+        mode="factorial",
+        seed=seed,
+        axes=(
+            Axis("ecc", ("full", "no-retry", "hard-only"), "full"),
+            Axis("rber", ("1", "10"), "1"),
+        ),
+        params={
+            "num_labels": num_labels,
+            "num_queries": num_queries,
+            "fault_class": "rber",
+        },
+    )
+
+
+def smoke_campaign(seed: int = 7) -> CampaignSpec:
+    """Tiny synthetic matrix with declared effects (CI determinism smoke)."""
+    return CampaignSpec(
+        name="smoke",
+        runner="synthetic",
+        mode="one-factor",
+        seed=seed,
+        axes=(
+            Axis("mac", ("cfp32", "naive"), "cfp32"),
+            Axis("layout", ("hetero", "homo"), "hetero"),
+            Axis("cache", ("on", "off"), "on"),
+        ),
+        params={
+            "base_goodput": 1000.0,
+            "base_p99_ms": 10.0,
+            "effects": {
+                "mac=naive": {"goodput": -0.45, "p99": 0.60},
+                "layout=homo": {"goodput": -0.20, "p99": 0.25},
+                "cache=off": {"goodput": -0.05, "p99": 0.10},
+            },
+        },
+    )
+
+
+#: Name -> zero-argument builder (defaults), for the CLI.
+BUILTIN_CAMPAIGNS: Dict[str, Callable[[], CampaignSpec]] = {
+    "components": components_campaign,
+    "fleet-policy": fleet_policy_campaign,
+    "serving-policy": serving_policy_campaign,
+    "reliability": reliability_campaign,
+    "smoke": smoke_campaign,
+}
+
+
+def builtin_campaign(
+    name: str, overrides: Optional[Mapping[str, object]] = None
+) -> CampaignSpec:
+    """Resolve a built-in campaign, optionally overriding seed/params.
+
+    ``overrides`` may set ``seed`` and/or any runner param.  Axes are not
+    overridable — they are part of the campaign's meaning, not a knob.
+    """
+    builder = BUILTIN_CAMPAIGNS.get(name)
+    if builder is None:
+        raise AblationError(
+            f"unknown campaign {name!r}; built-ins: "
+            + ", ".join(sorted(BUILTIN_CAMPAIGNS))
+        )
+    spec = builder()
+    if not overrides:
+        return spec
+    seed = spec.seed
+    params = dict(spec.params)
+    for key, value in overrides.items():
+        if key == "seed":
+            seed = int(value)  # type: ignore[arg-type]
+        else:
+            params[key] = value
+    return CampaignSpec(
+        name=spec.name,
+        runner=spec.runner,
+        mode=spec.mode,
+        seed=seed,
+        axes=spec.axes,
+        params=params,
+        challenger=spec.challenger,
+    )
+
+
+def campaign_names() -> Tuple[str, ...]:
+    return tuple(sorted(BUILTIN_CAMPAIGNS))

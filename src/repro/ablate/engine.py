@@ -1,0 +1,274 @@
+"""Campaign execution: serial or process-parallel, resumable, registered.
+
+The executor owes its simplicity to two invariants the rest of the package
+establishes:
+
+1. **Cell identity is spec-derived** (:func:`repro.ablate.matrix.cell_identity`),
+   so resume is a file-existence check against the
+   :class:`~repro.obs.runs.RunRegistry` — a killed campaign restarts where
+   it left off with *zero* re-executed cells, and two campaigns racing into
+   one registry converge on identical bytes.
+2. **Runners are bit-identical per seed**, so fanning cells across worker
+   processes cannot change any result — only the wall-clock.  The engine
+   still *assembles* deterministically: results are keyed by cell and the
+   report walks cells in matrix order, so a parallel report is
+   byte-identical to a serial one regardless of completion order.
+
+Execution protocol per cell: run the runner, build the cell's
+:class:`~repro.obs.runs.RunManifest` from the same (config, workload) pair
+its ID was derived from (the manifest's derived ID therefore *is* the cell
+ID — checked, as a guard against version drift mid-campaign), and register
+it immediately — not at campaign end — so a kill loses at most the cells
+in flight.  When every cell is in, a campaign-level manifest groups the
+cell run IDs with one digest entry per cell (byte-comparable across
+re-runs via ``repro runs diverge``).
+
+Worker processes use the ``spawn`` start method (no inherited state) and
+resolve the runner by name from the registry; campaigns using runners
+registered at runtime outside :mod:`repro.ablate.runners` must run with
+``workers=1`` unless the registration is importable in workers too.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AblationError
+from ..obs.digest import DigestEntry, state_digest
+from ..obs.runs import RunManifest, RunRegistry
+from .matrix import Cell, RunMatrix, cell_identity, generate_matrix
+from .report import AblationReport, build_report
+from .runners import get_runner
+from .spec import CampaignSpec
+
+#: Workload kind stamped into the campaign-level manifest identity.
+CAMPAIGN_WORKLOAD_KIND = "ablation-campaign"
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: the matrix, per-cell metrics, ranked report."""
+
+    spec: CampaignSpec
+    matrix: RunMatrix
+    results: Dict[str, Dict[str, float]]
+    report: AblationReport
+    resumed: List[str] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    campaign_manifest: Optional[RunManifest] = None
+
+    @property
+    def campaign_id(self) -> Optional[str]:
+        return (
+            self.campaign_manifest.run_id
+            if self.campaign_manifest is not None
+            else None
+        )
+
+
+def _cell_payload(spec: CampaignSpec, cell: Cell) -> Dict[str, object]:
+    return {
+        "runner": spec.runner,
+        "assignment": dict(cell.assignment),
+        "params": dict(spec.params),
+        "seed": spec.seed,
+        "cell_id": cell.cell_id,
+    }
+
+
+def _execute_cell(payload: Dict[str, object]) -> Tuple[str, Dict[str, float]]:
+    """Run one cell (this is the function worker processes invoke)."""
+    runner = get_runner(str(payload["runner"]))
+    assignment = payload["assignment"]
+    params = payload["params"]
+    assert isinstance(assignment, dict) and isinstance(params, dict)
+    metrics = runner(assignment, params, int(payload["seed"]))  # type: ignore[arg-type]
+    clean = {str(k): float(v) for k, v in metrics.items()}
+    return str(payload["cell_id"]), clean
+
+
+def _cell_manifest(
+    spec: CampaignSpec, cell: Cell, metrics: Dict[str, float]
+) -> RunManifest:
+    """The cell's manifest; its derived run ID must equal the cell ID."""
+    config, workload = cell_identity(spec, cell.assignment)
+    manifest = RunManifest.build(
+        label=f"campaign/{spec.name}/cell",
+        seed=spec.seed,
+        config=config,
+        workload=workload,
+        metrics=metrics,
+    )
+    if manifest.run_id != cell.cell_id:
+        raise AblationError(
+            f"cell {cell.index} of campaign {spec.name!r} derived manifest "
+            f"id {manifest.run_id} but the matrix says {cell.cell_id}; the "
+            f"spec or package version changed mid-campaign"
+        )
+    return manifest
+
+
+def _load_cell_metrics(manifest: RunManifest) -> Dict[str, float]:
+    return {
+        str(k): float(v)  # type: ignore[arg-type]
+        for k, v in manifest.metrics.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def _campaign_manifest(
+    spec: CampaignSpec,
+    matrix: RunMatrix,
+    results: Dict[str, Dict[str, float]],
+    report: AblationReport,
+) -> RunManifest:
+    """The campaign-level manifest grouping every cell run ID.
+
+    Its run ID derives from the spec and matrix alone (not from metrics),
+    so a resumed completion registers under the same ID as an uninterrupted
+    run — and its digest track carries one entry per cell, in matrix
+    order, for ``repro runs diverge`` to replay.
+    """
+    digests = [
+        DigestEntry(
+            index=cell.index,
+            tick=cell.index,
+            sim_time=float(cell.index),
+            digest=state_digest(
+                {"cell_id": cell.cell_id, "metrics": results[cell.cell_id]}
+            ),
+            state={"cell_id": cell.cell_id},
+        )
+        for cell in matrix.cells
+    ]
+    manifest = RunManifest.build(
+        label=f"campaign/{spec.name}",
+        seed=spec.seed,
+        config=spec.to_dict(),
+        workload={
+            "kind": CAMPAIGN_WORKLOAD_KIND,
+            "cells": list(matrix.cell_ids()),
+        },
+        metrics={
+            "cells": len(matrix.cells),
+            "ranking": [
+                {
+                    "rank": entry.rank,
+                    "axis": entry.axis,
+                    "level": entry.level,
+                    "harm_score": entry.harm_score,
+                    "sign": entry.sign,
+                }
+                for entry in report.ranking
+            ],
+        },
+        digests=digests,
+    )
+    return manifest
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    run_dir: Optional[str] = None,
+    workers: int = 1,
+    resume: bool = True,
+    register_campaign: bool = True,
+) -> CampaignResult:
+    """Execute every cell of ``spec`` and build the ranked report.
+
+    With ``run_dir``, completed cells are registered incrementally and
+    (when ``resume``) cells whose manifests already exist are loaded
+    instead of re-executed.  ``workers > 1`` fans pending cells across
+    spawn-context processes; the report is byte-identical either way.
+    """
+    if workers < 1:
+        raise AblationError("workers must be >= 1")
+    matrix = generate_matrix(spec)
+    registry = RunRegistry(run_dir) if run_dir else None
+    results: Dict[str, Dict[str, float]] = {}
+    resumed: List[str] = []
+    pending: List[Cell] = []
+    for cell in matrix.cells:
+        manifest = None
+        if registry is not None and resume:
+            if os.path.exists(registry.path_for(cell.cell_id)):
+                manifest = registry.get(cell.cell_id)
+        if manifest is not None:
+            results[cell.cell_id] = _load_cell_metrics(manifest)
+            resumed.append(cell.cell_id)
+        else:
+            pending.append(cell)
+
+    executed: List[str] = []
+
+    def record(cell: Cell, metrics: Dict[str, float]) -> None:
+        results[cell.cell_id] = metrics
+        executed.append(cell.cell_id)
+        if registry is not None:
+            registry.register(_cell_manifest(spec, cell, metrics))
+
+    if workers == 1 or len(pending) <= 1:
+        for cell in pending:
+            _, metrics = _execute_cell(_cell_payload(spec, cell))
+            record(cell, metrics)
+    else:
+        by_id = {cell.cell_id: cell for cell in pending}
+        context = get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_execute_cell, _cell_payload(spec, cell))
+                for cell in pending
+            ]
+            for future in as_completed(futures):
+                cell_id, metrics = future.result()
+                record(by_id[cell_id], metrics)
+        # Completion order is scheduling noise; keep the ledger in matrix
+        # order so the result object is deterministic too.
+        executed.sort(key=lambda cid: by_id[cid].index if cid in by_id else -1)
+
+    report = build_report(
+        matrix,
+        results,
+        resumed_cells=len(resumed),
+        executed_cells=len(executed),
+    )
+    campaign_manifest = None
+    if registry is not None and register_campaign:
+        campaign_manifest = _campaign_manifest(spec, matrix, results, report)
+        registry.register(campaign_manifest)
+    return CampaignResult(
+        spec=spec,
+        matrix=matrix,
+        results=results,
+        report=report,
+        resumed=resumed,
+        executed=executed,
+        campaign_manifest=campaign_manifest,
+    )
+
+
+def report_from_registry(
+    spec: CampaignSpec,
+    run_dir: str,
+    allow_partial: bool = False,
+) -> AblationReport:
+    """Rebuild the ranked report from already-registered cell manifests.
+
+    ``repro ablate report`` uses this: no cell is executed.  Missing cells
+    raise unless ``allow_partial`` (the champion is always required).
+    """
+    matrix = generate_matrix(spec)
+    registry = RunRegistry(run_dir)
+    results: Dict[str, Dict[str, float]] = {}
+    for cell in matrix.cells:
+        if os.path.exists(registry.path_for(cell.cell_id)):
+            results[cell.cell_id] = _load_cell_metrics(
+                registry.get(cell.cell_id)
+            )
+    return build_report(matrix, results, allow_partial=allow_partial)

@@ -1,0 +1,275 @@
+"""Component-importance scoring over a campaign's cell metrics.
+
+The paper's claims are ratios between co-designed parts; this module turns
+a matrix of cell metrics back into those ratios.  For every (axis, level)
+ablation it gathers **matched pairs** — cells identical except on that one
+axis — and computes a direction-adjusted relative delta per metric:
+
+    harm(metric) = direction * (ablated - champion)
+                   / max(|ablated|, |champion|, eps)
+
+where ``direction`` is +1 for metrics where higher is worse (p99, shed
+rate, outage seconds) and -1 where lower is worse (goodput, throughput,
+retention), matched by the same fnmatch-style patterns perf-diff uses.
+The normalization by the larger magnitude keeps every per-metric harm in
+[-1, 1] even when the champion's value is zero (a champion with zero shed
+rate ablated to any shedding scores the maximum +1, not infinity).
+
+An ablation's ``harm_score`` is the mean harm over its scored metrics,
+averaged over all matched pairs (one pair in one-factor mode; every
+matched pair in factorial mode, so interactions average out into a main
+effect).  ``sign`` is +1 when the ablation hurts (the component earns its
+keep), -1 when it helps, 0 inside a small indifference band.  Entries
+rank by descending harm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AblationError
+from ..obs.perfdiff import HIGHER_IS_WORSE, LOWER_IS_WORSE
+from .matrix import Cell, RunMatrix
+
+#: First-match-wins (pattern, direction) table for scoring; metrics no
+#: pattern matches are reported but excluded from harm. Mirrors the
+#: perf-diff DEFAULT_TOLERANCES vocabulary.
+SCORING_DIRECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("*p50*", HIGHER_IS_WORSE),
+    ("*p95*", HIGHER_IS_WORSE),
+    ("*p99*", HIGHER_IS_WORSE),
+    ("*latency*", HIGHER_IS_WORSE),
+    ("*time*", HIGHER_IS_WORSE),
+    ("*shed*", HIGHER_IS_WORSE),
+    ("*outage*", HIGHER_IS_WORSE),
+    ("*parked*", HIGHER_IS_WORSE),
+    ("*failed*", HIGHER_IS_WORSE),
+    ("*downtime*", HIGHER_IS_WORSE),
+    ("*skew*", HIGHER_IS_WORSE),
+    ("*goodput*", LOWER_IS_WORSE),
+    ("*throughput*", LOWER_IS_WORSE),
+    ("*attainment*", LOWER_IS_WORSE),
+    ("*retention*", LOWER_IS_WORSE),
+    ("*utilization*", LOWER_IS_WORSE),
+    ("*hit_rate*", LOWER_IS_WORSE),
+)
+
+#: |harm_score| below this counts as "no effect" (sign 0).
+INDIFFERENCE = 1e-6
+
+#: Floor for the normalizing magnitude (keeps 0-vs-0 metrics at harm 0).
+_ABS_FLOOR = 1e-12
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """The scoring direction for one metric name, or None (unscored)."""
+    for pattern, direction in SCORING_DIRECTIONS:
+        if fnmatchcase(name, pattern):
+            return direction
+    return None
+
+
+def metric_harm(name: str, champion: float, ablated: float) -> Optional[float]:
+    """Direction-adjusted relative delta in [-1, 1]; None when unscored."""
+    direction = metric_direction(name)
+    if direction is None:
+        return None
+    scale = max(abs(champion), abs(ablated), _ABS_FLOOR)
+    delta = (ablated - champion) / scale
+    return delta if direction == HIGHER_IS_WORSE else -delta
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's champion-vs-ablated comparison, averaged over pairs."""
+
+    metric: str
+    champion: float
+    ablated: float
+    direction: Optional[str]
+    harm: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "champion": self.champion,
+            "ablated": self.ablated,
+            "direction": self.direction,
+            "harm": self.harm,
+        }
+
+
+@dataclass
+class ImportanceEntry:
+    """One (axis, level) ablation's scored effect vs the champion."""
+
+    axis: str
+    level: str
+    champion_level: str
+    pairs: int
+    harm_score: float
+    sign: int
+    rank: int = 0
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "axis": self.axis,
+            "level": self.level,
+            "champion_level": self.champion_level,
+            "pairs": self.pairs,
+            "harm_score": self.harm_score,
+            "sign": self.sign,
+            "rank": self.rank,
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+
+def _matched_pairs(
+    matrix: RunMatrix, axis_name: str, level: str
+) -> List[Tuple[Cell, Cell]]:
+    """(base, ablated) cell pairs identical except ``axis_name``.
+
+    The base side holds the axis at its champion level; pairs enumerate in
+    matrix order so downstream means are order-stable.
+    """
+    champion_level = matrix.spec.axis(axis_name).champion
+    by_context: Dict[Tuple[Tuple[str, str], ...], Dict[str, Cell]] = {}
+    for cell in matrix.cells:
+        if cell.assignment.get(axis_name) not in (champion_level, level):
+            continue
+        context = tuple(
+            (k, v)
+            for k, v in sorted(cell.assignment.items())
+            if k != axis_name
+        )
+        by_context.setdefault(context, {})[str(cell.assignment[axis_name])] = cell
+    pairs: List[Tuple[Cell, Cell]] = []
+    for cell in matrix.cells:  # matrix order, not dict order
+        if cell.assignment.get(axis_name) != champion_level:
+            continue
+        context = tuple(
+            (k, v)
+            for k, v in sorted(cell.assignment.items())
+            if k != axis_name
+        )
+        partner = by_context.get(context, {}).get(level)
+        if partner is not None:
+            pairs.append((cell, partner))
+    return pairs
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _score_entry(
+    axis_name: str,
+    level: str,
+    champion_level: str,
+    pairs: Sequence[Tuple[Cell, Cell]],
+    results: Mapping[str, Mapping[str, float]],
+) -> Optional[ImportanceEntry]:
+    """Score one ablation from its matched pairs; None when no pair ran."""
+    complete = [
+        (base, ablated)
+        for base, ablated in pairs
+        if base.cell_id in results and ablated.cell_id in results
+    ]
+    if not complete:
+        return None
+    metric_names = sorted(
+        {
+            name
+            for base, ablated in complete
+            for name in (*results[base.cell_id], *results[ablated.cell_id])
+        }
+    )
+    deltas: List[MetricDelta] = []
+    harms: List[float] = []
+    for name in metric_names:
+        base_vals = [
+            results[base.cell_id][name]
+            for base, ablated in complete
+            if name in results[base.cell_id] and name in results[ablated.cell_id]
+        ]
+        ablated_vals = [
+            results[ablated.cell_id][name]
+            for base, ablated in complete
+            if name in results[base.cell_id] and name in results[ablated.cell_id]
+        ]
+        if not base_vals:
+            continue
+        champion_mean = _mean(base_vals)
+        ablated_mean = _mean(ablated_vals)
+        harm = metric_harm(name, champion_mean, ablated_mean)
+        deltas.append(
+            MetricDelta(
+                metric=name,
+                champion=champion_mean,
+                ablated=ablated_mean,
+                direction=metric_direction(name),
+                harm=harm,
+            )
+        )
+        if harm is not None:
+            harms.append(harm)
+    harm_score = _mean(harms)
+    if harm_score > INDIFFERENCE:
+        sign = 1
+    elif harm_score < -INDIFFERENCE:
+        sign = -1
+    else:
+        sign = 0
+    return ImportanceEntry(
+        axis=axis_name,
+        level=level,
+        champion_level=champion_level,
+        pairs=len(complete),
+        harm_score=harm_score,
+        sign=sign,
+        deltas=deltas,
+    )
+
+
+def score_importance(
+    matrix: RunMatrix,
+    results: Mapping[str, Mapping[str, float]],
+) -> List[ImportanceEntry]:
+    """Rank every (axis, non-champion level) ablation by harm vs champion.
+
+    ``results`` maps cell IDs to numeric metric dicts; ablations whose
+    pairs are entirely missing from it are skipped (partial reports), but a
+    missing champion-side cell in *every* pair of *every* axis yields an
+    empty ranking — callers that need completeness raise on that.
+    """
+    entries: List[ImportanceEntry] = []
+    for axis in matrix.spec.axes:
+        for level in axis.ablations:
+            pairs = _matched_pairs(matrix, axis.name, level)
+            entry = _score_entry(
+                axis.name, level, axis.champion, pairs, results
+            )
+            if entry is not None:
+                entries.append(entry)
+    # Most harmful first; (axis, level) breaks exact-score ties stably.
+    entries.sort(key=lambda e: (-e.harm_score, e.axis, e.level))
+    for position, entry in enumerate(entries):
+        entry.rank = position + 1
+    return entries
+
+
+def require_complete(
+    matrix: RunMatrix, results: Mapping[str, Mapping[str, float]]
+) -> None:
+    """Raise :class:`AblationError` naming any cell absent from results."""
+    missing = [c.cell_id for c in matrix.cells if c.cell_id not in results]
+    if missing:
+        raise AblationError(
+            f"campaign {matrix.spec.name!r} is missing results for "
+            f"{len(missing)} of {len(matrix.cells)} cells: "
+            + ", ".join(missing[:6])
+            + ("..." if len(missing) > 6 else "")
+        )

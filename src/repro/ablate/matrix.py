@@ -1,0 +1,166 @@
+"""Deterministic run-matrix generation with stable per-cell run IDs.
+
+The matrix is a pure fold over the spec: cells enumerate in declared
+axis/level order (never over a hash or a set), and each cell's identity is
+the same :func:`repro.obs.runs.derive_run_id` hash the run registry keys
+manifests by — derived from the campaign name, runner, params, and the
+cell's axis assignment at the campaign seed.  That one decision buys the
+whole resume/parallelism story: any process anywhere that holds the spec
+can recompute every cell ID without talking to an executor, so "has this
+cell already run?" is a registry file-existence check and re-registering a
+re-executed cell is a byte-identical overwrite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import AblationError
+from ..obs.runs import derive_run_id
+from .spec import CampaignSpec
+
+#: Workload kind stamped into every cell's run identity.
+CELL_WORKLOAD_KIND = "ablation-cell"
+
+
+def cell_identity(
+    spec: CampaignSpec, assignment: Mapping[str, str]
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """The (config, workload) pair a cell's run ID — and manifest — hash.
+
+    The executor builds each cell's :class:`~repro.obs.runs.RunManifest`
+    from exactly this pair, so the manifest's derived run ID *is* the cell
+    ID; the registry needs no side table mapping one to the other.
+    """
+    config: Dict[str, object] = {
+        "campaign": spec.name,
+        "runner": spec.runner,
+        "params": dict(spec.params),
+        "assignment": dict(assignment),
+    }
+    workload: Dict[str, object] = {
+        "kind": CELL_WORKLOAD_KIND,
+        "mode": spec.mode,
+    }
+    return config, workload
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One run of the campaign: an axis assignment plus its identity."""
+
+    index: int
+    cell_id: str
+    assignment: Mapping[str, str]
+    is_champion: bool
+    #: In one-factor mode, the single axis this cell ablates (None for the
+    #: champion cell and for factorial/ab cells that vary several axes).
+    ablated_axis: Optional[str] = None
+    #: The non-champion level ``ablated_axis`` was set to.
+    ablated_level: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "assignment": dict(self.assignment),
+            "is_champion": self.is_champion,
+            "ablated_axis": self.ablated_axis,
+            "ablated_level": self.ablated_level,
+        }
+
+
+@dataclass(frozen=True)
+class RunMatrix:
+    """The full, ordered cell list for one campaign spec."""
+
+    spec: CampaignSpec
+    cells: Tuple[Cell, ...]
+
+    @property
+    def champion(self) -> Cell:
+        for cell in self.cells:
+            if cell.is_champion:
+                return cell
+        raise AblationError(
+            f"campaign {self.spec.name!r} matrix has no champion cell"
+        )
+
+    def cell_ids(self) -> Tuple[str, ...]:
+        return tuple(cell.cell_id for cell in self.cells)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.spec.name,
+            "mode": self.spec.mode,
+            "seed": self.spec.seed,
+            "runner": self.spec.runner,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _make_cell(
+    spec: CampaignSpec,
+    index: int,
+    assignment: Dict[str, str],
+    champion: Mapping[str, str],
+    ablated_axis: Optional[str] = None,
+) -> Cell:
+    config, workload = cell_identity(spec, assignment)
+    return Cell(
+        index=index,
+        cell_id=derive_run_id(config, spec.seed, workload),
+        assignment=assignment,
+        is_champion=assignment == dict(champion),
+        ablated_axis=ablated_axis,
+        ablated_level=(
+            assignment[ablated_axis] if ablated_axis is not None else None
+        ),
+    )
+
+
+def generate_matrix(spec: CampaignSpec) -> RunMatrix:
+    """Enumerate the spec's cells in deterministic declared order.
+
+    The champion cell is always index 0; identical assignments are emitted
+    once (a factorial enumeration meets the champion exactly once by
+    construction, one-factor by deduplication).
+    """
+    champion = spec.champion_assignment
+    cells: List[Cell] = [_make_cell(spec, 0, dict(champion), champion)]
+    seen = {cells[0].cell_id}
+
+    def push(assignment: Dict[str, str], ablated: Optional[str]) -> None:
+        cell = _make_cell(spec, len(cells), assignment, champion, ablated)
+        if cell.cell_id in seen:
+            return
+        seen.add(cell.cell_id)
+        cells.append(cell)
+
+    if spec.mode == "one-factor":
+        for axis in spec.axes:
+            for level in axis.ablations:
+                assignment = dict(champion)
+                assignment[axis.name] = level
+                push(assignment, axis.name)
+    elif spec.mode == "factorial":
+        names = [axis.name for axis in spec.axes]
+        for combo in itertools.product(*(axis.levels for axis in spec.axes)):
+            assignment = dict(zip(names, combo))
+            differing = [n for n in names if assignment[n] != champion[n]]
+            push(assignment, differing[0] if len(differing) == 1 else None)
+    elif spec.mode == "ab":
+        assignment = dict(champion)
+        assignment.update(spec.challenger or {})
+        differing = [n for n in assignment if assignment[n] != champion[n]]
+        if not differing:
+            raise AblationError(
+                f"campaign {spec.name!r}: challenger equals the champion; "
+                f"nothing to A/B"
+            )
+        push(assignment, differing[0] if len(differing) == 1 else None)
+    else:  # pragma: no cover - spec validation rejects unknown modes
+        raise AblationError(f"unknown campaign mode {spec.mode!r}")
+    return RunMatrix(spec=spec, cells=tuple(cells))

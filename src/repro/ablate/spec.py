@@ -1,0 +1,187 @@
+"""Declarative campaign specs: axes, champions, and matrix modes.
+
+An ablation campaign is a pure value: a named set of :class:`Axis` objects
+(each a component toggle or policy choice with a declared ``champion``
+level), a matrix ``mode``, a ``runner`` name, a ``seed``, and runner
+``params``.  Everything downstream — the deterministic run matrix, the
+per-cell run IDs, the importance ranking — is a function of this value, so
+two processes that agree on a spec agree on every cell identity without
+coordinating.
+
+Modes:
+
+* ``one-factor`` — the champion assignment plus, per axis, one cell per
+  non-champion level with every *other* axis pinned at its champion.  The
+  paper's Fig. 8-style component study: each cell isolates one ablation.
+* ``factorial`` — the full cross product of all axis levels (champion cell
+  included).  The fleet-policy study: interactions matter.
+* ``ab`` — exactly two cells, champion (A) vs ``challenger`` (B), where the
+  challenger overrides any subset of axes.
+
+Specs round-trip through JSON (``to_dict``/``from_dict``) so campaigns can
+live in files and ship through the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: The matrix-generation modes a spec may name.
+CAMPAIGN_MODES: Tuple[str, ...] = ("one-factor", "factorial", "ab")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweepable dimension: a name, its levels, and the champion level.
+
+    Levels are strings (runners parse them); their *declared order* is part
+    of the spec identity because matrix enumeration follows it.
+    """
+
+    name: str
+    levels: Tuple[str, ...]
+    champion: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("axis name cannot be empty")
+        if len(self.levels) < 2:
+            raise ConfigurationError(
+                f"axis {self.name!r} needs at least two levels to ablate"
+            )
+        if len(set(self.levels)) != len(self.levels):
+            raise ConfigurationError(
+                f"axis {self.name!r} has duplicate levels: {self.levels}"
+            )
+        if self.champion not in self.levels:
+            raise ConfigurationError(
+                f"axis {self.name!r} champion {self.champion!r} is not one "
+                f"of its levels {self.levels}"
+            )
+
+    @property
+    def ablations(self) -> Tuple[str, ...]:
+        """Non-champion levels, in declared order."""
+        return tuple(lv for lv in self.levels if lv != self.champion)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "levels": list(self.levels),
+            "champion": self.champion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Axis":
+        return cls(
+            name=str(data["name"]),
+            levels=tuple(str(lv) for lv in list(data["levels"])),  # type: ignore[arg-type]
+            champion=str(data["champion"]),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The complete, JSON-stable description of one campaign."""
+
+    name: str
+    runner: str
+    axes: Tuple[Axis, ...]
+    mode: str = "one-factor"
+    seed: int = 0
+    params: Mapping[str, object] = field(default_factory=dict)
+    challenger: Optional[Mapping[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign name cannot be empty")
+        if not self.runner:
+            raise ConfigurationError("campaign runner cannot be empty")
+        if self.mode not in CAMPAIGN_MODES:
+            raise ConfigurationError(
+                f"unknown campaign mode {self.mode!r}; "
+                f"expected one of {CAMPAIGN_MODES}"
+            )
+        if not self.axes:
+            raise ConfigurationError("campaign needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate axis names: {names}")
+        if self.mode == "ab":
+            if not self.challenger:
+                raise ConfigurationError(
+                    "ab mode needs a challenger assignment"
+                )
+            by_name = {axis.name: axis for axis in self.axes}
+            for axis_name, level in self.challenger.items():
+                axis = by_name.get(axis_name)
+                if axis is None:
+                    raise ConfigurationError(
+                        f"challenger names unknown axis {axis_name!r}"
+                    )
+                if level not in axis.levels:
+                    raise ConfigurationError(
+                        f"challenger level {level!r} is not a level of "
+                        f"axis {axis_name!r}"
+                    )
+        elif self.challenger:
+            raise ConfigurationError(
+                f"challenger only applies to ab mode, not {self.mode!r}"
+            )
+
+    def axis(self, name: str) -> Axis:
+        for axis in self.axes:
+            if axis.name == name:
+                return axis
+        raise ConfigurationError(f"campaign has no axis {name!r}")
+
+    @property
+    def champion_assignment(self) -> Dict[str, str]:
+        """The all-champion cell, keyed by axis name (declared order)."""
+        return {axis.name: axis.champion for axis in self.axes}
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "runner": self.runner,
+            "mode": self.mode,
+            "seed": self.seed,
+            "axes": [axis.to_dict() for axis in self.axes],
+            "params": dict(self.params),
+        }
+        if self.challenger is not None:
+            data["challenger"] = dict(self.challenger)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        challenger_raw = data.get("challenger")
+        return cls(
+            name=str(data["name"]),
+            runner=str(data["runner"]),
+            mode=str(data.get("mode", "one-factor")),
+            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+            axes=tuple(
+                Axis.from_dict(axis)
+                for axis in list(data.get("axes", []))  # type: ignore[arg-type]
+            ),
+            params=dict(data.get("params", {})),  # type: ignore[arg-type]
+            challenger=(
+                {str(k): str(v) for k, v in dict(challenger_raw).items()}  # type: ignore[arg-type]
+                if challenger_raw is not None
+                else None
+            ),
+        )
+
+
+def axis(name: str, levels: Sequence[str], champion: Optional[str] = None) -> Axis:
+    """Convenience constructor: champion defaults to the first level."""
+    level_tuple = tuple(str(lv) for lv in levels)
+    return Axis(
+        name=name,
+        levels=level_tuple,
+        champion=str(champion) if champion is not None else level_tuple[0],
+    )

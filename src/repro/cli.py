@@ -20,6 +20,9 @@ Gives the reproduction a front door that requires no Python:
   autoscaling, and injectable node/interconnect faults;
 * ``python -m repro faults`` — sweep the fault-injection matrix (RBER scales
   x fault classes) and report top-k retention, latency, and SSD read cost;
+* ``python -m repro ablate`` — plan, execute (serial or multi-process,
+  resumable), and score ablation campaigns over component axes, ranking
+  per-component importance against the champion configuration;
 * ``python -m repro profile`` — run an instrumented inference and print the
   critical-path attribution report (per-resource time, channel balance,
   transfer interference); ``--out`` writes the JSON form;
@@ -39,7 +42,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -513,6 +516,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         racks=args.racks,
         slots_per_node=args.slots,
         slo=slo,
+        placement_strategy=args.placement,
+        steal_policy=args.steal,
+        autoscale=not args.no_autoscale,
+        autoscale_min=args.autoscale_min,
+        autoscale_interval=args.autoscale_interval,
     )
     degrees = shard_hot_degrees(generator, args.shards, tile_size=512)
 
@@ -555,7 +563,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                   f"{args.racks} racks, {args.slots} slots/node"],
         ["placement", f"{args.shards} shards x "
                       f"{simulator.placement.total_replicas / args.shards:.1f} "
-                      f"mean replicas"],
+                      f"mean replicas ({args.placement})"],
+        ["policies", f"steal={args.steal}, autoscale="
+                     f"{'off' if args.no_autoscale else 'on'}"],
         ["arrived / completed / shed",
          f"{report.arrived} / {report.completed} / {report.shed}"],
         ["shed rate", f"{report.shed_rate:.2%}"],
@@ -630,6 +640,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 "replicas": args.replicas,
                 "racks": args.racks,
                 "slots_per_node": args.slots,
+                "placement_strategy": args.placement,
+                "steal_policy": args.steal,
+                "autoscale": not args.no_autoscale,
                 "fault_plan": args.fault_plan,
                 "rate_qps": rate,
             },
@@ -804,10 +817,117 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _coerce_override(value: str) -> object:
+    """CLI ``--set key=value`` values: JSON when it parses, else a string."""
+    import json
+
+    try:
+        return json.loads(value)
+    except json.JSONDecodeError:
+        return value
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Plan, execute, or re-score an ablation campaign."""
+    from .ablate import (
+        builtin_campaign,
+        campaign_names,
+        generate_matrix,
+        report_from_registry,
+        run_campaign,
+    )
+    from .analysis.reporting import render_table
+
+    overrides: Dict[str, object] = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    for item in args.set:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"--set needs key=value, got {item!r}", file=sys.stderr)
+            return 2
+        overrides[key] = _coerce_override(value)
+    spec = builtin_campaign(args.campaign, overrides)
+    matrix = generate_matrix(spec)
+
+    if args.ablate_command == "plan":
+        rows = [
+            [
+                str(cell.index),
+                cell.cell_id[:16],
+                "champion" if cell.is_champion
+                else (f"{cell.ablated_axis}={cell.ablated_level}"
+                      if cell.ablated_axis else "variant"),
+                ", ".join(f"{k}={v}" for k, v in cell.assignment.items()),
+            ]
+            for cell in matrix.cells
+        ]
+        print(render_table(
+            ["cell", "run id", "role", "assignment"], rows,
+            title=f"Campaign {spec.name}: {spec.mode}, runner "
+                  f"{spec.runner}, seed {spec.seed} "
+                  f"({len(matrix.cells)} cells; built-ins: "
+                  f"{', '.join(campaign_names())})",
+        ))
+        return 0
+
+    if args.ablate_command == "run":
+        result = run_campaign(
+            spec,
+            run_dir=args.run_dir,
+            workers=args.workers,
+            resume=not args.no_resume,
+        )
+        report = result.report
+        print(
+            f"campaign {spec.name}: {len(matrix.cells)} cells "
+            f"({len(result.executed)} executed, {len(result.resumed)} "
+            f"resumed)"
+            + (f", campaign manifest {result.campaign_id}"
+               if result.campaign_id else "")
+        )
+    else:  # report
+        if not args.run_dir:
+            print("ablate report needs --run-dir", file=sys.stderr)
+            return 2
+        report = report_from_registry(
+            spec, args.run_dir, allow_partial=args.allow_partial
+        )
+
+    rows = [
+        [
+            str(entry.rank),
+            entry.axis,
+            entry.champion_level,
+            entry.level,
+            f"{entry.harm_score:+.4f}",
+            f"{entry.sign:+d}",
+            str(entry.pairs),
+        ]
+        for entry in report.ranking
+    ]
+    print(render_table(
+        ["rank", "axis", "champion", "ablated to", "harm", "sign", "pairs"],
+        rows,
+        title=f"Component importance: {spec.name} "
+              f"(champion {report.champion_id[:16]})",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.out}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(report.render_markdown())
+        print(f"wrote {args.markdown}")
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     """Inspect, compare, and divergence-check registered run manifests."""
+    from .errors import ObservabilityError
     from .obs.perfdiff import parse_tolerance_spec
-    from .obs.runs import RunRegistry, compare_runs, diverge_runs
+    from .obs.runs import RunRegistry, compare_many, diverge_runs
 
     registry = RunRegistry(args.run_dir)
     command = args.runs_command
@@ -823,14 +943,34 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         return 0
     if command == "compare":
         extra = tuple(parse_tolerance_spec(spec) for spec in args.tolerance)
-        report = compare_runs(
-            registry.get(args.run_a),
-            registry.get(args.run_b),
+        # First run is the baseline; every later run diffs against it.
+        # --missing-ok skips unresolvable IDs (e.g. campaign cells whose
+        # optional artifacts were never produced) instead of raising.
+        resolved = []
+        for run_id in args.run_ids:
+            try:
+                resolved.append(registry.get(run_id))
+            except ObservabilityError as exc:
+                if not args.missing_ok:
+                    raise
+                print(f"skipping {run_id}: {exc}")
+        if len(resolved) < 2:
+            print("need a baseline and at least one comparable run")
+            return 0 if args.missing_ok else 2
+        baseline, candidates = resolved[0], resolved[1:]
+        exit_code = 0
+        for candidate, report in compare_many(
+            baseline,
+            candidates,
             tolerances=extra,
             default_rel_tol=args.default_rel_tol,
-        )
-        print(report.render(show_ok=args.show_ok))
-        return report.exit_code
+        ):
+            if len(candidates) > 1:
+                print(f"== {baseline.run_id} vs {candidate.run_id} "
+                      f"({candidate.label or 'unlabelled'}) ==")
+            print(report.render(show_ok=args.show_ok))
+            exit_code = max(exit_code, report.exit_code)
+        return exit_code
     if command == "diverge":
         manifest_a = registry.get(args.run_a)
         manifest_b = registry.get(args.run_b)
@@ -1074,6 +1214,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-ms", type=float, default=50.0, help="latency SLO in milliseconds"
     )
     cluster.add_argument("--seed", type=int, default=0)
+    from .cluster import PLACEMENT_STRATEGIES, STEAL_POLICIES
+
+    cluster.add_argument(
+        "--placement", choices=PLACEMENT_STRATEGIES,
+        default=PLACEMENT_STRATEGIES[0],
+        help="replica placement strategy (default: rack-spread)",
+    )
+    cluster.add_argument(
+        "--steal", choices=STEAL_POLICIES, default=STEAL_POLICIES[0],
+        help="work-steal victim-queue policy (default: newest)",
+    )
+    cluster.add_argument(
+        "--no-autoscale", action="store_true",
+        help="pin every service node active (disable the autoscaler)",
+    )
+    cluster.add_argument(
+        "--autoscale-min", type=int, default=1,
+        help="minimum active service nodes when autoscaling",
+    )
+    cluster.add_argument(
+        "--autoscale-interval", type=float, default=0.05,
+        help="autoscaler control interval in seconds",
+    )
     cluster.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="cluster fault classes to inject, e.g. "
@@ -1175,6 +1338,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(faults)
     _add_verbose(faults)
 
+    ablate = sub.add_parser(
+        "ablate",
+        help="plan/run/score ablation campaigns over component axes",
+    )
+    _add_verbose(ablate)
+    ablate_sub = ablate.add_subparsers(dest="ablate_command", required=True)
+
+    def _ablate_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--campaign", default="smoke",
+            help="built-in campaign name (see `repro ablate plan`)",
+        )
+        parser.add_argument(
+            "--seed", type=int, default=None, help="override the spec seed"
+        )
+        parser.add_argument(
+            "--set", action="append", default=[], metavar="KEY=VALUE",
+            help="override a runner param (JSON value or bare string)",
+        )
+
+    ablate_plan = ablate_sub.add_parser(
+        "plan", help="print the campaign's cell matrix without executing"
+    )
+    _ablate_common(ablate_plan)
+    ablate_run = ablate_sub.add_parser(
+        "run", help="execute every cell and print the importance ranking"
+    )
+    _ablate_common(ablate_run)
+    ablate_run.add_argument(
+        "--run-dir", default=None,
+        help="register per-cell + campaign manifests here (enables resume)",
+    )
+    ablate_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cell execution (1 = serial)",
+    )
+    ablate_run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-execute cells even when their manifests already exist",
+    )
+    ablate_run.add_argument(
+        "--out", default=None, help="write the ranked report as JSON"
+    )
+    ablate_run.add_argument(
+        "--markdown", default=None, help="write the ranked report as markdown"
+    )
+    ablate_report = ablate_sub.add_parser(
+        "report", help="re-score a campaign from registered cell manifests"
+    )
+    _ablate_common(ablate_report)
+    ablate_report.add_argument(
+        "--run-dir", required=True,
+        help="registry holding the campaign's cell manifests",
+    )
+    ablate_report.add_argument(
+        "--allow-partial", action="store_true",
+        help="score whatever cells exist (champion still required)",
+    )
+    ablate_report.add_argument(
+        "--out", default=None, help="write the ranked report as JSON"
+    )
+    ablate_report.add_argument(
+        "--markdown", default=None, help="write the ranked report as markdown"
+    )
+
     runs = sub.add_parser(
         "runs", help="inspect, compare, and divergence-check registered runs"
     )
@@ -1190,10 +1418,17 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show = runs_sub.add_parser("show", help="print one run manifest")
     runs_show.add_argument("run_id", help="run ID (unambiguous prefix ok)")
     runs_compare = runs_sub.add_parser(
-        "compare", help="perf-diff two runs' summary metrics"
+        "compare",
+        help="perf-diff runs' summary metrics (first run is the baseline)",
     )
-    runs_compare.add_argument("run_a")
-    runs_compare.add_argument("run_b")
+    runs_compare.add_argument(
+        "run_ids", nargs="+", metavar="RUN_ID",
+        help="baseline followed by one or more candidate runs",
+    )
+    runs_compare.add_argument(
+        "--missing-ok", action="store_true",
+        help="skip run IDs that don't resolve instead of failing",
+    )
     runs_compare.add_argument(
         "--tolerance", action="append", default=[],
         metavar="PATTERN=REL[:DIR]", help="extra tolerance band",
@@ -1236,6 +1471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "cluster": _cmd_cluster,
         "faults": _cmd_faults,
+        "ablate": _cmd_ablate,
         "profile": _cmd_profile,
         "perf-diff": _cmd_perf_diff,
         "runs": _cmd_runs,

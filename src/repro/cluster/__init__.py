@@ -36,7 +36,14 @@ from .report import (
     failover_timeline_digest,
     shard_outage_seconds,
 )
-from .topology import REQUEST_BYTES, ClusterConfig, Interconnect, rack_of
+from .topology import (
+    PLACEMENT_STRATEGIES,
+    REQUEST_BYTES,
+    STEAL_POLICIES,
+    ClusterConfig,
+    Interconnect,
+    rack_of,
+)
 
 __all__ = [
     "Autoscaler",
@@ -64,6 +71,8 @@ __all__ = [
     "shard_outage_seconds",
     "ClusterConfig",
     "Interconnect",
+    "PLACEMENT_STRATEGIES",
     "REQUEST_BYTES",
+    "STEAL_POLICIES",
     "rack_of",
 ]

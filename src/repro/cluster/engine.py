@@ -20,10 +20,13 @@ the next recovery edge.  Every decision lands on the failover timeline in
 event order — the determinism tests compare that timeline byte-for-byte
 across runs.
 
-Work stealing: a data node that drains its queue pulls the *newest* queued
-task for a shard it replicates from the most-backlogged node, paying the
-re-transfer.  Background crawlers and brownout windows multiply execution
-time at task start (when they are knowable), never retroactively.
+Work stealing: a data node that drains its queue pulls a queued task for a
+shard it replicates from the most-backlogged node, paying the re-transfer.
+``ClusterConfig.steal_policy`` picks the end of the victim's queue
+(``newest`` by default, ``oldest``, or ``none`` to disable) — a sweep axis
+for the :mod:`repro.ablate` fleet-policy campaign.  Background crawlers and
+brownout windows multiply execution time at task start (when they are
+knowable), never retroactively.
 """
 
 from __future__ import annotations
@@ -322,8 +325,19 @@ class ClusterSimulator:
                 best_node.pending.append(task)
             return True
 
+        steal_policy = self.config.steal_policy
+
         def try_steal(node: DataNode, now: float) -> None:
-            """Pull one queued task for a shard ``node`` replicates."""
+            """Pull one queued task for a shard ``node`` replicates.
+
+            ``config.steal_policy`` picks which end of the victim's FIFO to
+            scan: ``newest`` (tail first — the victim keeps its oldest,
+            soonest-to-run work), ``oldest`` (head first — FIFO fairness at
+            the cost of re-shipping the request that waited longest), or
+            ``none`` (stealing disabled; idle slots stay idle).
+            """
+            if steal_policy == "none":
+                return
             if not node.alive or not node.has_free_slot() or node.pending:
                 return
             my_shards = set(self.placement.shards_on(node.index))
@@ -334,7 +348,11 @@ class ClusterSimulator:
                 key=lambda v: (-len(v.pending), v.index),
             )
             for victim in victims:
-                for position in range(len(victim.pending) - 1, -1, -1):
+                if steal_policy == "newest":
+                    positions = range(len(victim.pending) - 1, -1, -1)
+                else:
+                    positions = range(len(victim.pending))
+                for position in positions:
                     task = victim.pending[position]
                     if task.shard not in my_shards:
                         continue

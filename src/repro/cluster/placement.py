@@ -7,16 +7,25 @@ answer, in priority order:
 1. **Coverage** — every shard gets at least one replica; extra replica
    budget (``config.replicas - config.shards``) goes to the hottest shards
    first (§5.3 hot-degree prediction), because they draw the most traffic.
-2. **Fault-domain spread** — a shard's replicas land on distinct nodes and,
-   while possible, distinct racks, so one node crash or one rack partition
-   never takes out every copy (the failover protocol in
-   :mod:`repro.cluster.engine` depends on this).
-3. **Load balance** — among candidates satisfying the spread constraints,
-   the node with the least *predicted heat* (sum over hosted shards of
+2. **Rack preference** — governed by ``config.placement_strategy``:
+
+   * ``rack-spread`` (default) — a shard's replicas land on distinct nodes
+     and, while possible, distinct racks, so one node crash or one rack
+     partition never takes out every copy (the failover protocol in
+     :mod:`repro.cluster.engine` depends on this);
+   * ``locality-packed`` — the inverse preference: replicas pack into racks
+     the shard already occupies, trading fault spread for cheap intra-rack
+     failover and steal traffic;
+   * ``hotness-weighted`` — rack-blind; only predicted heat decides.
+3. **Load balance** — among candidates tied on the rack term, the node with
+   the least *predicted heat* (sum over hosted shards of
    ``hot_degree / replication_factor``) wins, index as the tie-break.
 
-The whole computation is a deterministic fold over sorted inputs: same
-config and hot degrees, same placement, every run.
+The strategies exist as sweep axes for the ablation engine
+(:mod:`repro.ablate`); the fleet-policy campaign scores them against each
+other under a shared fault plan.  The whole computation is a deterministic
+fold over sorted inputs: same config and hot degrees, same placement, every
+run.
 """
 
 from __future__ import annotations
@@ -111,6 +120,7 @@ def place_replicas(
         )
     heat: List[float] = [0.0] * config.data_nodes
     assignments: List[List[int]] = [[] for _ in range(config.shards)]
+    strategy = config.placement_strategy
     # Hottest shards place first so they get the pick of cold nodes.
     order = sorted(range(config.shards), key=lambda s: (-hot_degrees[s], s))
     for shard in order:
@@ -123,8 +133,14 @@ def place_replicas(
             for node in range(config.data_nodes):
                 if node in taken:
                     continue
-                rack_penalty = 1 if config.node_rack(node) in racks_taken else 0
-                key = (rack_penalty, heat[node], node)
+                in_taken_rack = config.node_rack(node) in racks_taken
+                if strategy == "rack-spread":
+                    rack_term = 1 if in_taken_rack else 0
+                elif strategy == "locality-packed":
+                    rack_term = 0 if in_taken_rack else 1
+                else:  # hotness-weighted: rack-blind
+                    rack_term = 0
+                key = (rack_term, heat[node], node)
                 if best_node < 0 or key < best_key:
                     best_key = key
                     best_node = node

@@ -16,6 +16,7 @@ every run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..errors import ConfigurationError
 from ..units import gbps, us
@@ -23,6 +24,23 @@ from ..units import gbps, us
 #: Bytes shipped per query from a service node to each data-node task (the
 #: embedding vector plus framing).
 REQUEST_BYTES = 512
+
+#: Replica-placement strategies the placement engine can run (see
+#: :func:`repro.cluster.placement.place_replicas`): ``rack-spread`` prefers
+#: untaken racks (fault-domain first), ``locality-packed`` prefers racks the
+#: shard already occupies (cheap intra-rack traffic, weaker fault spread),
+#: ``hotness-weighted`` ignores racks and balances predicted heat alone.
+PLACEMENT_STRATEGIES: Tuple[str, ...] = (
+    "rack-spread",
+    "locality-packed",
+    "hotness-weighted",
+)
+
+#: Work-steal policies for idle data nodes (see
+#: :meth:`repro.cluster.engine.ClusterSimulator`): steal the victim's
+#: ``newest`` queued task (best cache locality for the victim's old work),
+#: its ``oldest`` (FIFO fairness), or ``none`` (stealing disabled).
+STEAL_POLICIES: Tuple[str, ...] = ("newest", "oldest", "none")
 
 
 def rack_of(node: int, racks: int) -> int:
@@ -99,6 +117,9 @@ class ClusterConfig:
     autoscale_interval: float = 0.05
     # -- background crawlers -------------------------------------------------
     crawlers_enabled: bool = True
+    # -- sweepable fleet policies --------------------------------------------
+    placement_strategy: str = "rack-spread"
+    steal_policy: str = "newest"
     interconnect: Interconnect = Interconnect()
 
     def __post_init__(self) -> None:
@@ -137,6 +158,16 @@ class ClusterConfig:
             )
         if self.autoscale_interval <= 0:
             raise ConfigurationError("autoscale_interval must be positive")
+        if self.placement_strategy not in PLACEMENT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown placement strategy {self.placement_strategy!r}; "
+                f"expected one of {PLACEMENT_STRATEGIES}"
+            )
+        if self.steal_policy not in STEAL_POLICIES:
+            raise ConfigurationError(
+                f"unknown steal policy {self.steal_policy!r}; "
+                f"expected one of {STEAL_POLICIES}"
+            )
 
     @property
     def total_slots(self) -> int:

@@ -47,3 +47,12 @@ class ObservabilityError(ReproError):
     tracer over its span cap with no streaming sink attached), a streaming
     sink is used after close, or a run manifest/registry lookup fails.
     """
+
+
+class AblationError(ReproError):
+    """An ablation campaign cannot be planned, executed, or scored.
+
+    Raised for unknown runners, cell results that disagree with the
+    spec-derived cell identity (a version or spec drift mid-campaign), and
+    importance scoring over an incomplete result set.
+    """

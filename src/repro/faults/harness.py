@@ -24,7 +24,7 @@ pulls in the whole pipeline stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import topk_retention
 from ..config import ECSSDConfig
@@ -35,6 +35,7 @@ from ..obs.digest import DigestRecorder
 from ..units import us
 from ..workloads.synthetic import make_workload
 from .injector import FaultInjector, installed
+from .model import EccConfig
 from .plan import FaultConfig
 
 #: The injectable fault classes a matrix sweep crosses with the RBER ladder.
@@ -45,15 +46,19 @@ _HIDDEN_DIM = 256
 
 
 def config_for_class(
-    fault_class: str, rber_scale: float, seed: int
+    fault_class: str,
+    rber_scale: float,
+    seed: int,
+    ecc: Optional[EccConfig] = None,
 ) -> FaultConfig:
     """The :class:`FaultConfig` for one matrix cell.
 
     ``rber`` is the pure wear/retention axis; the component-fault classes
     add their one fault kind on top of it; ``storm`` turns everything on at
-    once (the worst-credible-day drill).
+    once (the worst-credible-day drill).  ``ecc`` overrides the default ECC
+    ladder — the ablation engine sweeps it (full / no-retry / hard-only).
     """
-    base = dict(
+    base: Dict[str, Any] = dict(
         seed=seed,
         rber_scale=rber_scale,
         mean_pe_cycles=3000.0,
@@ -61,6 +66,8 @@ def config_for_class(
         offline_duration=us(400.0),
         horizon=0.05,
     )
+    if ecc is not None:
+        base["ecc"] = ecc
     if fault_class == "rber":
         return FaultConfig(**base)
     if fault_class == "offline":
@@ -150,6 +157,7 @@ def run_fault_matrix(
     top_k: int = 5,
     storm_pages: int = 64,
     config: Optional[ECSSDConfig] = None,
+    ecc: Optional[EccConfig] = None,
     digest_recorder: Optional[DigestRecorder] = None,
 ) -> FaultMatrixReport:
     """Run the full fault matrix; see the module docstring for the cells."""
@@ -195,7 +203,9 @@ def run_fault_matrix(
     for fault_class in fault_classes:
         column: Dict[str, Dict[str, object]] = {}
         for scale in rber_scales:
-            fault_config = config_for_class(fault_class, float(scale), seed)
+            fault_config = config_for_class(
+                fault_class, float(scale), seed, ecc=ecc
+            )
             injector = FaultInjector(fault_config, channels=channels)
             with installed(injector):
                 stats, perf = fresh_device().run_inference(queries, top_k=top_k)

@@ -48,10 +48,19 @@ ALLOWED_IMPORTS: Dict[str, Tuple[str, ...]] = {
         "repro.ssd",
         "repro.workloads",
     ),
+    "repro.ablate": (
+        "repro.cfp32",
+        "repro.cluster",
+        "repro.core",
+        "repro.faults",
+        "repro.serve",
+        "repro.workloads",
+    ),
     "repro.baselines": ("repro.workloads",),
     "repro.cfp32": (),
     "repro.cli": (
         "repro",
+        "repro.ablate",
         "repro.analysis",
         "repro.cluster",
         "repro.core",

@@ -88,6 +88,7 @@ from .profile import (
 from .runs import (
     RunManifest,
     RunRegistry,
+    compare_many,
     compare_runs,
     derive_run_id,
     diverge_runs,
@@ -181,6 +182,7 @@ __all__ = [
     "read_jsonl_spans",
     "RunManifest",
     "RunRegistry",
+    "compare_many",
     "compare_runs",
     "derive_run_id",
     "diverge_runs",

@@ -29,7 +29,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
 from .digest import (
@@ -298,6 +298,34 @@ def compare_runs(
         tolerances=merged,
         default_rel_tol=default_rel_tol,
     )
+
+
+def compare_many(
+    baseline: RunManifest,
+    candidates: Sequence[RunManifest],
+    tolerances: Sequence[Tolerance] = (),
+    default_rel_tol: float = DEFAULT_REL_TOL,
+) -> List[Tuple[RunManifest, PerfDiffReport]]:
+    """Diff each candidate against one shared baseline (N-way compare).
+
+    Campaign cells all measure against the champion, so an N-way compare is
+    N pairwise diffs anchored on the first run — returned in candidate
+    order as ``(candidate, report)`` pairs.  Candidates with no summary
+    metrics still produce a (trivially empty) report rather than raising;
+    callers decide whether empty means "skip" or "fail".
+    """
+    return [
+        (
+            candidate,
+            compare_runs(
+                baseline,
+                candidate,
+                tolerances=tolerances,
+                default_rel_tol=default_rel_tol,
+            ),
+        )
+        for candidate in candidates
+    ]
 
 
 def diverge_runs(a: RunManifest, b: RunManifest) -> DivergenceReport:

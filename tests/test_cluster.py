@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.cluster import (
+    PLACEMENT_STRATEGIES,
+    STEAL_POLICIES,
     Autoscaler,
     ClusterConfig,
     ClusterSimulator,
@@ -479,3 +481,100 @@ class TestReport:
         assert payload["utilization_skew"] >= 1.0 or (
             payload["utilization_skew"] == 0.0
         )
+
+
+class TestPolicyAxes:
+    """Placement / steal / autoscale as first-class, sweepable policies."""
+
+    PACKED_SHAPE = dict(
+        data_nodes=4, service_nodes=2, shards=2, replicas=6,
+        racks=3, slots_per_node=2, slo=0.05,
+    )
+
+    def test_unknown_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(data_nodes=8, placement_strategy="bogus")
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(data_nodes=8, steal_policy="bogus")
+
+    def test_strategies_are_exported_and_defaulted(self):
+        assert ClusterConfig(data_nodes=8).placement_strategy == PLACEMENT_STRATEGIES[0]
+        assert ClusterConfig(data_nodes=8).steal_policy == STEAL_POLICIES[0]
+
+    def test_strategies_place_distinctly(self):
+        placements = {
+            strategy: place_replicas(
+                ClusterConfig(**self.PACKED_SHAPE, placement_strategy=strategy),
+                [1.0, 1.0],
+            ).assignments
+            for strategy in PLACEMENT_STRATEGIES
+        }
+        assert len(set(placements.values())) == len(PLACEMENT_STRATEGIES)
+
+    def test_locality_packed_fills_racks_first(self):
+        config = ClusterConfig(
+            data_nodes=8, service_nodes=2, shards=4, replicas=8,
+            racks=2, slots_per_node=2, slo=0.05,
+            placement_strategy="locality-packed",
+        )
+        placement = place_replicas(config, [1.0] * config.shards)
+        for nodes in placement.assignments:
+            assert len({config.node_rack(n) for n in nodes}) == 1
+
+    def test_rack_spread_crosses_racks(self):
+        placement = place_replicas(CONFIG, [1.0] * CONFIG.shards)
+        for nodes in placement.assignments:
+            assert len({CONFIG.node_rack(n) for n in nodes}) >= 2
+
+    def test_each_strategy_deterministic(self):
+        for strategy in PLACEMENT_STRATEGIES:
+            config = ClusterConfig(**self.PACKED_SHAPE, placement_strategy=strategy)
+            first = place_replicas(config, [2.0, 1.0])
+            second = place_replicas(config, [2.0, 1.0])
+            assert first.assignments == second.assignments
+
+    def _steal_config(self, policy):
+        return ClusterConfig(
+            data_nodes=8, service_nodes=2, shards=4, replicas=12,
+            racks=2, slots_per_node=2, slo=0.05, steal_policy=policy,
+        )
+
+    def test_steal_policy_none_never_steals(self):
+        report = run_fleet(
+            1.5,
+            config=self._steal_config("none"),
+            hot_degrees=[3.0, 0.4, 0.3, 0.3],
+        )
+        assert report.steals == 0
+
+    def test_steal_policies_engage_and_stay_deterministic(self):
+        for policy in ("newest", "oldest"):
+            config = self._steal_config(policy)
+            first = run_fleet(1.5, config=config, hot_degrees=[3.0, 0.4, 0.3, 0.3])
+            second = run_fleet(1.5, config=config, hot_degrees=[3.0, 0.4, 0.3, 0.3])
+            assert first.steals > 0
+            assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+                second.to_dict(), sort_keys=True
+            )
+
+    def test_explicit_defaults_byte_identical_to_seed_behavior(self):
+        explicit = ClusterConfig(
+            data_nodes=8, service_nodes=2, shards=4, replicas=12,
+            racks=2, slots_per_node=2, slo=0.05,
+            placement_strategy="rack-spread", steal_policy="newest",
+        )
+        base = run_fleet(1.2, config=CONFIG)
+        same = run_fleet(1.2, config=explicit)
+        assert json.dumps(base.to_dict(), sort_keys=True) == json.dumps(
+            same.to_dict(), sort_keys=True
+        )
+
+    def test_policies_participate_in_run_identity(self):
+        ids = {
+            derive_run_id(
+                {"placement": strategy, "steal": policy}, 7, {"kind": "x"}
+            )
+            for strategy in PLACEMENT_STRATEGIES
+            for policy in STEAL_POLICIES
+        }
+        assert len(ids) == len(PLACEMENT_STRATEGIES) * len(STEAL_POLICIES)

@@ -12,6 +12,7 @@ from repro.obs import (
     RunManifest,
     RunRegistry,
     Tracer,
+    compare_many,
     compare_runs,
     derive_run_id,
     diverge_digest_entries,
@@ -228,6 +229,22 @@ class TestCompareAndDiverge:
         assert not report.ok
         assert report.regressions[0].key == "p99_ms"
 
+    def test_compare_many_anchors_on_the_baseline(self):
+        base = RunManifest.build("base", 0, {}, {}, metrics={"p99_ms": 10.0})
+        ok = RunManifest.build("ok", 1, {}, {}, metrics={"p99_ms": 10.2})
+        bad = RunManifest.build("bad", 2, {}, {}, metrics={"p99_ms": 30.0})
+        empty = RunManifest.build("empty", 3, {}, {})
+        results = compare_many(base, [ok, bad, empty])
+        assert [m.run_id for m, _ in results] == [
+            ok.run_id, bad.run_id, empty.run_id
+        ]
+        assert results[0][1].ok
+        assert not results[1][1].ok
+        # A run with no metrics still compares (flagged, not raised).
+        missing = results[2][1]
+        assert not missing.ok
+        assert [e.candidate for e in missing.entries] == [None]
+
     def test_diverge_runs_uses_digest_tracks(self):
         a = RunManifest.build("a", 0, {}, {}, digests=_recorder_track(1).entries)
         b = RunManifest.build("b", 0, {}, {}, digests=_recorder_track(1).entries)
@@ -387,3 +404,55 @@ class TestRunsCli:
             ["runs", "--run-dir", registry.root, "compare", a.run_id, b.run_id]
         ) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_subcommand_n_way(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = RunRegistry(str(tmp_path / "runs"))
+        base = RunManifest.build("base", 0, {}, {}, metrics={"p99_ms": 10.0})
+        ok = RunManifest.build("ok", 1, {}, {}, metrics={"p99_ms": 10.1})
+        bad = RunManifest.build("bad", 2, {}, {}, metrics={"p99_ms": 40.0})
+        for manifest in (base, ok, bad):
+            registry.register(manifest)
+        code = main([
+            "runs", "--run-dir", registry.root, "compare",
+            base.run_id, ok.run_id, bad.run_id,
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # worst candidate wins the exit code
+        assert out.count("==") >= 2  # per-candidate headers
+        assert "REGRESSION" in out
+
+    def test_compare_subcommand_missing_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = RunRegistry(str(tmp_path / "runs"))
+        base = RunManifest.build("base", 0, {}, {}, metrics={"p99_ms": 10.0})
+        ok = RunManifest.build("ok", 1, {}, {}, metrics={"p99_ms": 10.1})
+        registry.register(base)
+        registry.register(ok)
+        with pytest.raises(ObservabilityError):
+            main([
+                "runs", "--run-dir", registry.root, "compare",
+                base.run_id, "absent-run",
+            ])
+        code = main([
+            "runs", "--run-dir", registry.root, "compare",
+            base.run_id, "absent-run", ok.run_id, "--missing-ok",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipping absent-run" in out
+
+    def test_compare_subcommand_all_missing_candidates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        registry = RunRegistry(str(tmp_path / "runs"))
+        base = RunManifest.build("base", 0, {}, {}, metrics={"p99_ms": 10.0})
+        registry.register(base)
+        code = main([
+            "runs", "--run-dir", registry.root, "compare",
+            base.run_id, "absent-run", "--missing-ok",
+        ])
+        assert code == 0
+        assert "at least one comparable run" in capsys.readouterr().out
