@@ -368,8 +368,12 @@ def run_cluster_cell(
         service, config, seed=seed, fault_config=fault_config,
         hot_degrees=degrees,
     )
-    report = simulator.run(arrivals)
-    return {
+    from ..obs.causal import CausalCollector, installed
+
+    collector = CausalCollector(seed=seed)
+    with installed(collector):
+        report = simulator.run(arrivals)
+    metrics = {
         "goodput_qps": float(report.goodput),
         "p99_ms": float(report.p99) * 1e3,
         "shed_rate": float(report.shed_rate),
@@ -380,6 +384,8 @@ def run_cluster_cell(
         "steal_count": float(report.steals),
         "utilization_skew": float(report.utilization_skew),
     }
+    metrics.update(collector.report().stage_metrics())
+    return metrics
 
 
 # ---------------------------------------------------------------------------

@@ -199,8 +199,74 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_attribute(args: argparse.Namespace) -> int:
+    """Causally-traced fleet run answering "where does tail latency live"."""
+    import json
+
+    from .obs.causal import CausalCollector, installed, trace_to_chrome
+
+    (
+        simulator, arrivals, rate, capacity, service, fault_config
+    ) = _build_cluster_from_args(args)
+    collector = CausalCollector(
+        slowest_k=args.slowest, sample_size=args.sample, seed=args.seed
+    )
+    with _simsan_context(args) as sanitizer:
+        with installed(collector):
+            simulator.run(arrivals)
+    attribution = collector.report()
+    print(
+        f"fleet at {rate:,.0f} q/s ({rate / capacity:.2f}x saturation), "
+        f"fault plan: {args.fault_plan or 'none'}"
+    )
+    print(attribution.render())
+    if args.out:
+        payload = {
+            "benchmark": args.benchmark,
+            "seed": args.seed,
+            "rate_qps": rate,
+            "requests": args.requests,
+            "fault_plan": args.fault_plan,
+            "attribution": attribution.to_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.exemplar_out:
+        exemplars = list(attribution.slowest) + list(attribution.sampled)
+        if not exemplars:
+            print("no exemplars captured; skipping Chrome-trace export")
+        else:
+            chosen = exemplars[0]
+            if args.exemplar is not None:
+                matches = [
+                    t for t in exemplars if t.request_id == args.exemplar
+                ]
+                if not matches:
+                    known = ", ".join(t.trace_id for t in exemplars)
+                    print(
+                        f"request {args.exemplar} is not a captured "
+                        f"exemplar (have: {known})"
+                    )
+                    return 1
+                chosen = matches[0]
+            with open(args.exemplar_out, "w", encoding="utf-8") as fh:
+                json.dump(trace_to_chrome(chosen), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(
+                f"wrote {chosen.trace_id} causal graph "
+                f"({chosen.latency * 1e3:.3f} ms, {chosen.fault_class}) "
+                f"to {args.exemplar_out}"
+            )
+    return _simsan_finish(sanitizer)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Instrumented inference whose sole product is the telemetry files."""
+    if getattr(args, "trace_command", None) == "attribute":
+        return _cmd_trace_attribute(args)
+
     from .core.api import ECSSD
     from .workloads.synthetic import make_workload
 
@@ -400,8 +466,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["goodput", f"{report.goodput:,.0f} q/s within SLO"],
         ["SLO attainment", f"{report.slo_attainment:.1%} of admitted"],
     ]
-    for label in ("p50", "p95", "p99"):
-        value = summary[f"{label}_s"]
+    for label, key in (
+        ("p50", "p50_s"),
+        ("p95", "p95_s"),
+        ("p99", "p99_s"),
+        ("p99.9", "p999_s"),
+    ):
+        value = summary[key]
         rows.append([
             f"{label} latency",
             "-" if value is None
@@ -418,9 +489,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ).quantiles_or_none()
         if waits is not None:
             rows.append([
-                "queue wait p50/p99",
+                "queue wait p50/p99/p99.9",
                 f"{format_seconds(waits['p50'])} / "
-                f"{format_seconds(waits['p99'])}",
+                f"{format_seconds(waits['p99'])} / "
+                f"{format_seconds(waits['p99.9'])}",
             ])
     print(render_table(
         ["quantity", "value"], rows,
@@ -480,11 +552,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _simsan_finish(sanitizer)
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
-    """Simulate a fleet of service/data nodes under load and faults."""
-    import json
+def _build_cluster_from_args(args: argparse.Namespace, recorder=None):
+    """Calibrate the service model and assemble the fleet a CLI run drives.
 
-    from .analysis.reporting import format_seconds, render_table
+    Shared by ``repro cluster`` and ``repro trace attribute`` so both
+    commands simulate the exact same fleet for the same flags (same
+    calibration sweep, placement, fault plan, and arrival stream).
+    Returns ``(simulator, arrivals, rate, capacity, service, fault_config)``.
+    """
     from .cluster import ClusterConfig, build_cluster, cluster_saturating_rate
     from .core.batching import BatchingAnalyzer
     from .faults import ClusterFaultConfig
@@ -494,7 +569,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from .workloads.traces import CandidateTraceGenerator, LabelHotnessModel
 
     spec = get_benchmark(args.benchmark)
-    slo = args.slo_ms / 1000.0
 
     # Same calibration path as ``serve``: fit the affine service model from
     # a real batch sweep so fleet timing rests on measured tile costs.
@@ -515,7 +589,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         racks=args.racks,
         slots_per_node=args.slots,
-        slo=slo,
+        slo=args.slo_ms / 1000.0,
         placement_strategy=args.placement,
         steal_policy=args.steal,
         autoscale=not args.no_autoscale,
@@ -535,11 +609,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             args.fault_plan, seed=args.seed, horizon=horizon
         )
 
-    recorder = None
-    if args.run_dir:
-        from .obs.digest import DigestRecorder
-
-        recorder = DigestRecorder(interval=args.digest_interval, label="cluster")
     simulator = build_cluster(
         service,
         config,
@@ -548,13 +617,48 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         hot_degrees=degrees,
         digest_recorder=recorder,
     )
+    return simulator, arrivals, rate, capacity, service, fault_config
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Simulate a fleet of service/data nodes under load and faults."""
+    import json
+
+    from .analysis.reporting import format_seconds, render_table
+
+    slo = args.slo_ms / 1000.0
+    recorder = None
+    if args.run_dir:
+        from .obs.digest import DigestRecorder
+
+        recorder = DigestRecorder(interval=args.digest_interval, label="cluster")
+    (
+        simulator, arrivals, rate, capacity, service, fault_config
+    ) = _build_cluster_from_args(args, recorder=recorder)
+
+    collector = None
+    if args.attribution_out:
+        from .obs.causal import CausalCollector, installed
+
+        collector = CausalCollector(seed=args.seed)
 
     session = _session_from_args(args)
     try:
         with _simsan_context(args) as sanitizer:
-            report = simulator.run(arrivals)
+            if collector is not None:
+                with installed(collector):
+                    report = simulator.run(arrivals)
+            else:
+                report = simulator.run(arrivals)
     finally:
         _finish_session(session, replay_flash=False)
+
+    if collector is not None:
+        attribution = collector.report()
+        with open(args.attribution_out, "w", encoding="utf-8") as fh:
+            json.dump(attribution.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.attribution_out}")
 
     summary = report.to_dict()
     rows = [
@@ -573,8 +677,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ["goodput", f"{report.goodput:,.0f} q/s within SLO"],
         ["SLO attainment", f"{report.slo_attainment:.2%} of completed"],
     ]
-    for label in ("p50", "p95", "p99"):
-        value = summary[f"{label}_s"]
+    for label, key in (
+        ("p50", "p50_s"),
+        ("p95", "p95_s"),
+        ("p99", "p99_s"),
+        ("p99.9", "p999_s"),
+    ):
+        value = summary[key]
         rows.append([
             f"{label} latency",
             "-" if value is None
@@ -627,6 +736,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         artifacts = {}
         if args.out:
             artifacts["summary"] = args.out
+        stream_out = getattr(args, "jsonl_stream_out", None)
+        if stream_out:
+            artifacts["spans"] = stream_out
+        if args.attribution_out:
+            artifacts["attribution"] = args.attribution_out
         _register_run(
             args.run_dir,
             label=f"cluster/{args.benchmark}",
@@ -711,10 +825,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         ).quantiles_or_none()
         if tiles is not None:
             print(
-                f"tile latency p50/p95/p99 across the matrix: "
+                f"tile latency p50/p95/p99/p99.9 across the matrix: "
                 f"{format_seconds(tiles['p50'])} / "
                 f"{format_seconds(tiles['p95'])} / "
-                f"{format_seconds(tiles['p99'])}"
+                f"{format_seconds(tiles['p99'])} / "
+                f"{format_seconds(tiles['p99.9'])}"
             )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -748,6 +863,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .core.api import ECSSD
     from .obs.profile import profile_trace
     from .workloads.synthetic import make_workload
+
+    if getattr(args, "spans", None):
+        # Offline mode: profile a recorded span stream (e.g. the
+        # --jsonl-stream-out file of a serve/cluster run) instead of
+        # running a fresh instrumented inference.
+        from .obs.export import read_jsonl_spans
+
+        report = profile_trace(read_jsonl_spans(args.spans), None)
+        print(report.render())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        return 0
 
     # Recorders live in memory; outputs (if any) flow through the usual
     # session flush.  The report itself is computed before uninstall so it
@@ -1027,6 +1157,78 @@ def _add_verbose(parser: argparse.ArgumentParser, dest: str = "verbose") -> None
     )
 
 
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    """Fleet-shape flags shared by ``cluster`` and ``trace attribute``."""
+    from .cluster import PLACEMENT_STRATEGIES, STEAL_POLICIES
+
+    parser.add_argument(
+        "--benchmark", default="GNMT-E32K", help="Table 3 benchmark name"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=8, help="data (storage) nodes in the fleet"
+    )
+    parser.add_argument(
+        "--service-nodes", type=int, default=4,
+        help="stateless service (request-plane) nodes",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="label-space shards"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=24,
+        help="total shard-replica instances placed on data nodes",
+    )
+    parser.add_argument(
+        "--racks", type=int, default=2, help="racks (fault domains)"
+    )
+    parser.add_argument(
+        "--slots", type=int, default=2,
+        help="concurrent shard tasks per data node",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="offered load in queries/s (default: the fleet saturating rate)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=1_000_000,
+        help="arrivals to replay through the fleet",
+    )
+    parser.add_argument(
+        "--slo-ms", type=float, default=50.0, help="latency SLO in milliseconds"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--placement", choices=PLACEMENT_STRATEGIES,
+        default=PLACEMENT_STRATEGIES[0],
+        help="replica placement strategy (default: rack-spread)",
+    )
+    parser.add_argument(
+        "--steal", choices=STEAL_POLICIES, default=STEAL_POLICIES[0],
+        help="work-steal victim-queue policy (default: newest)",
+    )
+    parser.add_argument(
+        "--no-autoscale", action="store_true",
+        help="pin every service node active (disable the autoscaler)",
+    )
+    parser.add_argument(
+        "--autoscale-min", type=int, default=1,
+        help="minimum active service nodes when autoscaling",
+    )
+    parser.add_argument(
+        "--autoscale-interval", type=float, default=0.05,
+        help="autoscaler control interval in seconds",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="cluster fault classes to inject, e.g. "
+             "'node-crash=2,partition=1,slow-node=2'",
+    )
+    parser.add_argument(
+        "--tiles", type=int, default=4,
+        help="sample tiles for service-model calibration",
+    )
+
+
 def _add_simsan(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--simsan",
@@ -1125,6 +1327,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics-out", default=None)
     trace.add_argument("--jsonl-out", default=None)
     _add_verbose(trace)
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    attribute = trace_sub.add_parser(
+        "attribute",
+        help="run a causally-traced fleet simulation and print where "
+             "p50/p95/p99/p99.9 latency lives, per stage and fault class",
+    )
+    _add_cluster_flags(attribute)
+    attribute.set_defaults(
+        requests=100_000,
+        fault_plan="node-crash=2,partition=1,slow-node=2",
+    )
+    attribute.add_argument(
+        "--slowest", type=int, default=8,
+        help="exact K slowest end-to-end requests kept as tail exemplars",
+    )
+    attribute.add_argument(
+        "--sample", type=int, default=16,
+        help="size of the seeded Algorithm-R exemplar sample",
+    )
+    attribute.add_argument(
+        "--out", default=None,
+        help="write the attribution report (stages, fault classes, "
+             "exemplars) as JSON",
+    )
+    attribute.add_argument(
+        "--exemplar-out", default=None,
+        help="export one exemplar's causal graph as a Chrome trace",
+    )
+    attribute.add_argument(
+        "--exemplar", type=int, default=None, metavar="REQUEST_ID",
+        help="which exemplar to export (default: the slowest request)",
+    )
+    _add_simsan(attribute)
+    _add_verbose(attribute)
 
     validate = sub.add_parser(
         "validate", help="cross-check analytic vs event backends"
@@ -1178,76 +1414,14 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster",
         help="simulate a fleet of service/data nodes with replica failover",
     )
-    cluster.add_argument(
-        "--benchmark", default="GNMT-E32K", help="Table 3 benchmark name"
-    )
-    cluster.add_argument(
-        "--nodes", type=int, default=8, help="data (storage) nodes in the fleet"
-    )
-    cluster.add_argument(
-        "--service-nodes", type=int, default=4,
-        help="stateless service (request-plane) nodes",
-    )
-    cluster.add_argument(
-        "--shards", type=int, default=4, help="label-space shards"
-    )
-    cluster.add_argument(
-        "--replicas", type=int, default=24,
-        help="total shard-replica instances placed on data nodes",
-    )
-    cluster.add_argument(
-        "--racks", type=int, default=2, help="racks (fault domains)"
-    )
-    cluster.add_argument(
-        "--slots", type=int, default=2,
-        help="concurrent shard tasks per data node",
-    )
-    cluster.add_argument(
-        "--rate", type=float, default=None,
-        help="offered load in queries/s (default: the fleet saturating rate)",
-    )
-    cluster.add_argument(
-        "--requests", type=int, default=1_000_000,
-        help="arrivals to replay through the fleet",
-    )
-    cluster.add_argument(
-        "--slo-ms", type=float, default=50.0, help="latency SLO in milliseconds"
-    )
-    cluster.add_argument("--seed", type=int, default=0)
-    from .cluster import PLACEMENT_STRATEGIES, STEAL_POLICIES
-
-    cluster.add_argument(
-        "--placement", choices=PLACEMENT_STRATEGIES,
-        default=PLACEMENT_STRATEGIES[0],
-        help="replica placement strategy (default: rack-spread)",
-    )
-    cluster.add_argument(
-        "--steal", choices=STEAL_POLICIES, default=STEAL_POLICIES[0],
-        help="work-steal victim-queue policy (default: newest)",
-    )
-    cluster.add_argument(
-        "--no-autoscale", action="store_true",
-        help="pin every service node active (disable the autoscaler)",
-    )
-    cluster.add_argument(
-        "--autoscale-min", type=int, default=1,
-        help="minimum active service nodes when autoscaling",
-    )
-    cluster.add_argument(
-        "--autoscale-interval", type=float, default=0.05,
-        help="autoscaler control interval in seconds",
-    )
-    cluster.add_argument(
-        "--fault-plan", default=None, metavar="SPEC",
-        help="cluster fault classes to inject, e.g. "
-             "'node-crash=2,partition=1,slow-node=2'",
-    )
-    cluster.add_argument(
-        "--tiles", type=int, default=4,
-        help="sample tiles for service-model calibration",
-    )
+    _add_cluster_flags(cluster)
     cluster.add_argument(
         "--out", default=None, help="write the run summary as JSON"
+    )
+    cluster.add_argument(
+        "--attribution-out", default=None,
+        help="run with causal tracing and write the tail-latency "
+             "attribution report as JSON (observe-only: same run id)",
     )
     cluster.add_argument(
         "--run-dir", default=None,
@@ -1268,6 +1442,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--labels", type=int, default=4096)
     profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="profile a recorded span stream (a --jsonl-stream-out file "
+             "from serve/cluster) instead of running a fresh inference",
+    )
     profile.add_argument(
         "--out", default=None,
         help="write the attribution report as JSON (sim-clock only: "

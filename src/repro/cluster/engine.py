@@ -48,6 +48,7 @@ from ..faults.plan import (
 )
 from ..lint.simsan import get_sanitizer
 from ..obs import CLUSTER_TRACK, get_registry, get_tracer
+from ..obs.causal import get_collector
 from ..obs.digest import DigestRecorder
 from ..serve.admission import AdmissionConfig, AdmissionController
 from ..serve.degrade import DegradationLadder
@@ -267,6 +268,7 @@ class ClusterSimulator:
         tracer = get_tracer()
         recorder = self.digest_recorder
         sanitizer = get_sanitizer()
+        collector = get_collector()
 
         def reachable(rack_a: int, rack_b: int) -> bool:
             if rack_a == rack_b or not severed:
@@ -282,6 +284,10 @@ class ClusterSimulator:
             ) * self.crawlers.slowdown(node.index, start)
             end = start + task.exec_time * slow
             task.started_at = start
+            if collector.enabled:
+                collector.on_task_start(
+                    task.task_id, start, end, task.exec_time
+                )
             node.start(task, end)
             live[task.task_id] = task
             running_tasks += 1
@@ -315,10 +321,24 @@ class ClusterSimulator:
                         to_node=-1,
                     )
                 )
+                if collector.enabled:
+                    collector.on_task_park(
+                        task.task_id, task.batch_id, task.shard
+                    )
                 return False
             cross = sn_rack != best_node.rack
             task.ready_at = now + link.transfer_time(task.bytes_out, cross)
             task.node = best_node.index
+            if collector.enabled:
+                collector.on_task_route(
+                    task.task_id,
+                    task.batch_id,
+                    task.shard,
+                    task.exec_time,
+                    now,
+                    task.ready_at,
+                    task.node,
+                )
             if best_node.has_free_slot() and not best_node.pending:
                 start_on(best_node, task, task.ready_at)
             else:
@@ -367,12 +387,25 @@ class ClusterSimulator:
                         task.bytes_out, cross
                     )
                     task.node = node.index
+                    if collector.enabled:
+                        collector.on_task_route(
+                            task.task_id,
+                            task.batch_id,
+                            task.shard,
+                            task.exec_time,
+                            now,
+                            task.ready_at,
+                            task.node,
+                        )
+                        collector.on_task_steal(task.task_id)
                     start_on(node, task, task.ready_at)
                     return
 
         def failover_task(task: ShardTask, now: float, from_node: int) -> None:
             task.node = from_node
             if route_task(task, now):
+                if collector.enabled:
+                    collector.on_task_redispatch(task.task_id)
                 counters.redispatches += 1
                 timeline.append(
                     FailoverEvent(
@@ -445,6 +478,15 @@ class ClusterSimulator:
             )
             state.merge_cost = self.merge_time(size, top_k_scale)
             batches[next_batch_id] = state
+            if collector.enabled:
+                collector.on_dispatch(
+                    next_batch_id,
+                    sn.index,
+                    now,
+                    level,
+                    state.request_ids,
+                    tuple(float(times[r]) for r in state.request_ids),
+                )
             counters.batches += 1
             if registry.enabled:
                 registry.counter(
@@ -527,6 +569,8 @@ class ClusterSimulator:
                 sn_rack = sns[state.service_node].rack
                 cross = node.rack != sn_rack
                 result_at = now + link.transfer_time(task.bytes_back, cross)
+                if collector.enabled:
+                    collector.on_task_finish(task.task_id, now, result_at)
                 if result_at > state.last_result_at:
                     state.last_result_at = result_at
                 state.remaining -= 1
@@ -559,12 +603,16 @@ class ClusterSimulator:
                             "service_node": state.service_node,
                         },
                     )
+                if collector.enabled:
+                    collector.on_merge(state.batch_id, now)
                 drain(sn, now)
             elif kind == _KIND_CACHE:
                 latency = now - float(times[payload])
                 latencies[payload] = latency
                 counters.completed += 1
                 counters.cache_hits += 1
+                if collector.enabled:
+                    collector.on_cache_hit(payload, float(times[payload]), now)
                 self.autoscaler.observe(now, latency > config.slo)
                 last_completion = now if now > last_completion else last_completion
             elif kind == _KIND_DEADLINE:
@@ -607,6 +655,8 @@ class ClusterSimulator:
                         shed_by_reason[reason] = (
                             shed_by_reason.get(reason, 0) + 1
                         )
+                        if collector.enabled:
+                            collector.on_shed(reason)
                         self.autoscaler.observe(now, True)
                     else:
                         owner[payload] = sn.index

@@ -151,6 +151,10 @@ class ClusterReport:
         return self.percentile(99.0)
 
     @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
     def shed_rate(self) -> float:
         return self.shed / self.arrived if self.arrived else 0.0
 
@@ -217,6 +221,7 @@ class ClusterReport:
             "p50_s": self.p50 if has_samples else None,
             "p95_s": self.p95 if has_samples else None,
             "p99_s": self.p99 if has_samples else None,
+            "p999_s": self.p999 if has_samples else None,
             "makespan_s": self.makespan,
             "batches": self.batches,
             "tasks_done": self.tasks_done,

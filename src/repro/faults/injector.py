@@ -31,6 +31,7 @@ import numpy as np
 
 from .. import obs
 from ..errors import SimulationError
+from ..obs.causal import get_collector
 from ..obs.tracing import FAULT_TRACK
 from .model import EccModel, EccOutcome, EccTier, RberModel
 from .plan import FaultConfig, FaultPlan, hash_uniform
@@ -131,6 +132,11 @@ class FaultInjector:
                 registry.counter(
                     "fault_ecc_reads_total", "page reads by ECC tier"
                 ).inc(tier=outcome.tier.value)
+            collector = get_collector()
+            if collector.enabled:
+                collector.on_ecc(
+                    outcome.tier.value, outcome.extra_latency, outcome.retries
+                )
         return outcome
 
     def page_read_surcharge(self) -> float:

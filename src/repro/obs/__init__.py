@@ -32,6 +32,17 @@ from __future__ import annotations
 import logging
 from typing import List, Optional
 
+from .causal import (
+    AttributionReport,
+    CausalCollector,
+    NullCausalCollector,
+    RequestTrace,
+    TailExemplarStore,
+    get_collector,
+    set_collector,
+    trace_spans,
+    trace_to_chrome,
+)
 from .digest import (
     DigestEntry,
     DigestRecorder,
@@ -191,6 +202,16 @@ __all__ = [
     "SpanReservoir",
     "StreamingSpanSink",
     "WindowedAggregator",
+    # causal tracing + tail attribution
+    "AttributionReport",
+    "CausalCollector",
+    "NullCausalCollector",
+    "RequestTrace",
+    "TailExemplarStore",
+    "get_collector",
+    "set_collector",
+    "trace_spans",
+    "trace_to_chrome",
 ]
 
 _registry = NULL_REGISTRY

@@ -249,6 +249,7 @@ class Histogram(_Instrument):
             "p50": self.percentile(50.0, **labels),
             "p95": self.percentile(95.0, **labels),
             "p99": self.percentile(99.0, **labels),
+            "p99.9": self.percentile(99.9, **labels),
         }
 
     def quantiles_or_none(self, **labels: object) -> Optional[Dict[str, float]]:

@@ -35,6 +35,7 @@ import numpy as np
 from ..errors import ConfigurationError, SimulationError, WorkloadError
 from ..lint.simsan import get_sanitizer
 from ..obs import SERVE_TRACK, get_registry, get_tracer
+from ..obs.causal import get_collector
 from ..obs.digest import DigestRecorder
 from .admission import AdmissionConfig, AdmissionController
 from .degrade import DegradationLadder
@@ -148,6 +149,7 @@ class ServingSimulator:
 
         registry = get_registry()
         tracer = get_tracer()
+        collector = get_collector()
 
         def dispatch(now: float) -> None:
             nonlocal seq
@@ -257,6 +259,14 @@ class ServingSimulator:
                         replica=batch_state.replica.index,
                     )
                     completed.append(record)
+                    if collector.enabled:
+                        collector.on_serve_complete(
+                            request.request_id,
+                            request.arrival,
+                            batch_state.dispatch_time,
+                            batch_state.completion,
+                            batch_state.degrade_level,
+                        )
                     if registry.enabled:
                         registry.histogram(
                             "serve_request_latency_seconds",
@@ -285,6 +295,8 @@ class ServingSimulator:
                         "serve_requests_total", "requests offered to the serving layer"
                     ).inc(outcome="shed" if reason else "admitted")
                 if reason is not None:
+                    if collector.enabled:
+                        collector.on_shed(reason)
                     shed.append(
                         ShedRequest(request=request, reason=reason, shed_time=now)
                     )

@@ -161,6 +161,10 @@ class ServingReport:
         return self.percentile(99.0)
 
     @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    @property
     def makespan(self) -> float:
         """First arrival to last completion, in simulated seconds."""
         if not self.completed:
@@ -208,6 +212,7 @@ class ServingReport:
             "p50_s": self.p50 if has_completions else None,
             "p95_s": self.p95 if has_completions else None,
             "p99_s": self.p99 if has_completions else None,
+            "p999_s": self.p999 if has_completions else None,
             "batches": len(self.batches),
             "mean_batch_size": self.mean_batch_size,
             "max_degrade_level": self.max_degrade_level,
